@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build vet test bench repro csv fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full microbenchmark + paper-bench sweep (quality metrics attached).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper as text.
+repro:
+	$(GO) run ./cmd/acsel-bench
+
+# Export the characterization and evaluation data for external analysis.
+csv:
+	$(GO) run ./cmd/acsel-bench -exp accuracy -csv-dir out/
+
+# Short fuzz pass over the pragma preprocessor.
+fuzz:
+	$(GO) test -fuzz FuzzPreprocess -fuzztime 30s ./internal/pragma
+
+clean:
+	rm -rf out/ model.json profiles.json

@@ -1,0 +1,219 @@
+// Command acsel-bench regenerates every table and figure of the
+// paper's evaluation (§V) from the simulated testbed: Table I/II/III
+// and Figures 1–9, plus the cluster assignments of each
+// cross-validation fold.
+//
+// Usage:
+//
+//	acsel-bench                 # run everything
+//	acsel-bench -exp table3     # one experiment
+//	acsel-bench -iterations 3   # profiling iterations per config
+//	acsel-bench -list           # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"acsel/internal/eval"
+	"acsel/internal/kernels"
+	"acsel/internal/trace"
+)
+
+var experiments = []string{
+	"fig1", "table1", "fig2", "table2", "fig3",
+	"table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+	"clusters", "accuracy", "extensions", "suite", "worst",
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run ("+strings.Join(experiments, ", ")+" or all)")
+	iters := flag.Int("iterations", 3, "profiling iterations per configuration")
+	k := flag.Int("k", 5, "cluster count")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	csvDir := flag.String("csv-dir", "", "optional directory for CSV exports (profiles and cases)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Println(e)
+		}
+		return
+	}
+
+	if err := run(*exp, *iters, *k, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "acsel-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, iters, k int, csvDir string) error {
+	selected := map[string]bool{}
+	if exp == "all" {
+		for _, e := range experiments {
+			selected[e] = true
+		}
+	} else {
+		ok := false
+		for _, e := range experiments {
+			if e == exp {
+				ok = true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", exp)
+		}
+		selected[exp] = true
+	}
+
+	h := eval.NewHarness()
+	h.Opts.Iterations = iters
+	h.Opts.K = k
+	fmt.Fprintf(os.Stderr, "characterizing 65 kernel/input combinations at %d configurations (%d iterations)...\n",
+		h.Profiler.Space.Len(), iters)
+	ev, err := h.Run()
+	if err != nil {
+		return err
+	}
+	space := h.Profiler.Space
+
+	emit := func(name, body string, err error) error {
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if selected[name] {
+			fmt.Println(body)
+		}
+		return nil
+	}
+
+	if selected["fig1"] {
+		fmt.Println(eval.ReportFig1())
+	}
+	t1, err := ev.ReportTable1(space)
+	if err := emit("table1", t1, err); err != nil {
+		return err
+	}
+	f2, err := ev.ReportFig2(space)
+	if err := emit("fig2", f2, err); err != nil {
+		return err
+	}
+	if selected["fig2"] {
+		plot, err := ev.PlotFrontier(space, eval.FrontierKernelID)
+		if err != nil {
+			return err
+		}
+		fmt.Println(plot)
+	}
+	if selected["table2"] {
+		fmt.Println(eval.ReportTable2())
+	}
+	if selected["fig3"] {
+		// Show the LULESH fold's tree, as an arbitrary representative.
+		f3, err := ev.ReportFig3("LULESH")
+		if err != nil {
+			return err
+		}
+		fmt.Println(f3)
+	}
+	if selected["table3"] {
+		fmt.Println(ev.ReportTable3())
+	}
+	if selected["fig4"] {
+		fmt.Println(ev.ReportFig4())
+	}
+	if selected["fig5"] {
+		fmt.Println(ev.ReportFig5())
+	}
+	if selected["fig6"] {
+		fmt.Println(ev.ReportFig6())
+	}
+	f7, err := ev.ReportFig7(space)
+	if err := emit("fig7", f7, err); err != nil {
+		return err
+	}
+	if selected["fig7"] {
+		plot, err := ev.PlotFrontier(space, eval.Fig7KernelID)
+		if err != nil {
+			return err
+		}
+		fmt.Println(plot)
+	}
+	if selected["fig8"] {
+		fmt.Println(ev.ReportFig8())
+	}
+	if selected["fig9"] {
+		fmt.Println(ev.ReportFig9())
+	}
+	if selected["accuracy"] {
+		acc, err := ev.ReportAccuracy()
+		if err != nil {
+			return err
+		}
+		fmt.Println(acc)
+	}
+	if selected["suite"] {
+		fmt.Println(kernels.ReportSuite())
+	}
+	if selected["worst"] {
+		w, err := ev.ReportWorstPredicted(10)
+		if err != nil {
+			return err
+		}
+		fmt.Println(w)
+	}
+	if selected["extensions"] {
+		fmt.Fprintln(os.Stderr, "running extension study (4 full evaluations)...")
+		results, err := eval.RunExtensionStudy(iters)
+		if err != nil {
+			return err
+		}
+		fmt.Println(eval.ReportExtensionStudy(results))
+	}
+	if csvDir != "" {
+		if err := exportCSV(csvDir, ev); err != nil {
+			return err
+		}
+	}
+	if selected["clusters"] {
+		var folds []string
+		for f := range ev.FoldModels {
+			folds = append(folds, f)
+		}
+		sort.Strings(folds)
+		for _, f := range folds {
+			fmt.Printf("cluster assignments (fold holding out %s):\n%s\n", f, eval.ReportClusterAssignments(ev.FoldModels[f]))
+		}
+	}
+	return nil
+}
+
+// exportCSV writes the characterization and case data for external
+// analysis.
+func exportCSV(dir string, ev *eval.Evaluation) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	pf, err := os.Create(filepath.Join(dir, "profiles.csv"))
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	if err := trace.WriteProfilesCSV(pf, ev.Profiles); err != nil {
+		return err
+	}
+	cf, err := os.Create(filepath.Join(dir, "cases.csv"))
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	if err := trace.WriteCasesCSV(cf, ev.Cases); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "CSV exports written to %s\n", dir)
+	return nil
+}

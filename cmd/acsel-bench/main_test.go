@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBenchSingleExperiment(t *testing.T) {
+	if err := run("table2", 1, 5, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchUnknownExperiment(t *testing.T) {
+	if err := run("table99", 1, 5, ""); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestBenchCSVExport(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "csv")
+	if err := run("accuracy", 1, 5, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"profiles.csv", "cases.csv"} {
+		if fi, err := os.Stat(filepath.Join(dir, f)); err != nil || fi.Size() == 0 {
+			t.Errorf("%s missing or empty", f)
+		}
+	}
+}
+
+func TestBenchSuiteAndWorstExperiments(t *testing.T) {
+	if err := run("suite", 1, 5, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("worst", 1, 5, ""); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+// Command acsel-pragma is the source preprocessor of §III-D: it rewrites
+// profiling pragmas in C-like source into profiling-library calls.
+//
+// Usage:
+//
+//	acsel-pragma < annotated.c > instrumented.c
+//	acsel-pragma -list < annotated.c        # just list instrumented kernels
+//	acsel-pragma -in app.c -out app_prof.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"acsel/internal/pragma"
+)
+
+func main() {
+	in := flag.String("in", "", "input file (default stdin)")
+	out := flag.String("out", "", "output file (default stdout)")
+	list := flag.Bool("list", false, "list instrumented kernel names instead of rewriting")
+	flag.Parse()
+
+	if err := run(*in, *out, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "acsel-pragma:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out string, list bool) error {
+	var src []byte
+	var err error
+	if in == "" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(in)
+	}
+	if err != nil {
+		return err
+	}
+
+	rewritten, sites, err := pragma.Preprocess(string(src))
+	if err != nil {
+		return err
+	}
+
+	if list {
+		for _, s := range sites {
+			fmt.Printf("%d\t%s\n", s.Line, s.Kernel)
+		}
+		return nil
+	}
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := io.WriteString(w, rewritten); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "instrumented %d kernel site(s)\n", len(sites))
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRewriteFile(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "app.c")
+	out := filepath.Join(dir, "app_prof.c")
+	src := "#pragma acsel profile(\"k\")\n{\n  work();\n}\n"
+	if err := os.WriteFile(in, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, out, false); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), "acsel_profile_begin") {
+		t.Errorf("output not instrumented:\n%s", got)
+	}
+}
+
+func TestRunListMode(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "app.c")
+	if err := os.WriteFile(in, []byte("#pragma acsel profile(\"abc\")\nx();\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("/nonexistent/file.c", "", false); err == nil {
+		t.Error("missing input accepted")
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bad.c")
+	if err := os.WriteFile(in, []byte("#pragma acsel profile(broken)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, "", false); err == nil {
+		t.Error("malformed pragma accepted")
+	}
+}

@@ -1,0 +1,120 @@
+// Command acsel-predict runs the online stage (§III-C) for one kernel:
+// it loads a trained model, executes the kernel's first two iterations
+// on the two sample configurations (Table II), classifies it into a
+// cluster, prints the predicted Pareto frontier, and selects the
+// configuration predicted to maximize performance under a power cap.
+//
+// Usage:
+//
+//	acsel-predict -model model.json -kernel LULESH/Small/CalcQForElems -cap 22
+//	acsel-predict -model model.json -kernel LU/Large/lud -cap 30 -z 1.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"acsel/internal/apu"
+	"acsel/internal/core"
+	"acsel/internal/kernels"
+	"acsel/internal/profiler"
+)
+
+func main() {
+	modelPath := flag.String("model", "model.json", "trained model file from acsel-train")
+	kernelID := flag.String("kernel", "", "kernel to schedule, as Benchmark/Input/Name")
+	capW := flag.Float64("cap", 25, "power cap in watts")
+	z := flag.Float64("z", 0, "variance-aware margin (0 disables; §VI extension)")
+	showFrontier := flag.Bool("frontier", true, "print the predicted Pareto frontier")
+	flag.Parse()
+
+	if err := run(*modelPath, *kernelID, *capW, *z, *showFrontier); err != nil {
+		fmt.Fprintln(os.Stderr, "acsel-predict:", err)
+		os.Exit(1)
+	}
+}
+
+func findKernel(id string) (kernels.Kernel, error) {
+	for _, c := range kernels.Combos() {
+		for _, k := range c.Kernels {
+			if k.ID() == id {
+				return k, nil
+			}
+		}
+	}
+	return kernels.Kernel{}, fmt.Errorf("unknown kernel %q (want Benchmark/Input/Name, e.g. %q)",
+		id, "LULESH/Small/CalcQForElems")
+}
+
+func run(modelPath, kernelID string, capW, z float64, showFrontier bool) error {
+	if kernelID == "" {
+		return fmt.Errorf("missing -kernel")
+	}
+	k, err := findKernel(kernelID)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(modelPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	model, err := core.Load(f)
+	if err != nil {
+		return err
+	}
+
+	// Online stage: the first two iterations run on the sample configs.
+	p := profiler.New()
+	cpuRun, err := p.RunConfig(k, apu.SampleConfigCPU(), 0)
+	if err != nil {
+		return err
+	}
+	gpuRun, err := p.RunConfig(k, apu.SampleConfigGPU(), 1)
+	if err != nil {
+		return err
+	}
+	sr := core.SampleRuns{CPU: cpuRun, GPU: gpuRun}
+
+	cl, err := model.Classify(sr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("kernel %s -> cluster %d\n", kernelID, cl)
+	fmt.Printf("sample runs: CPU %.4fs @ %.1f W, GPU %.4fs @ %.1f W\n",
+		cpuRun.TimeSec, cpuRun.TotalPowerW(), gpuRun.TimeSec, gpuRun.TotalPowerW())
+
+	if showFrontier {
+		frontier, _, err := model.PredictedFrontier(sr)
+		if err != nil {
+			return err
+		}
+		fmt.Println("predicted Pareto frontier (power W -> perf 1/s):")
+		for _, pt := range frontier.Points() {
+			cfg := model.Space.Configs[pt.ID]
+			fmt.Printf("  %6.1f W  %10.2f /s  %v\n", pt.Power, pt.Perf, cfg)
+		}
+	}
+
+	var sel core.Selection
+	if z > 0 {
+		sel, err = model.SelectUnderCapVarAware(sr, capW, z)
+	} else {
+		sel, err = model.SelectUnderCap(sr, capW)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("selection under %.1f W: %v\n", capW, sel.Config)
+	fmt.Printf("  predicted: %.2f /s at %.1f W (meets cap: %v)\n",
+		sel.Predicted.Perf, sel.Predicted.PowerW, sel.MeetsCapPredicted)
+
+	// Validate against the machine: run the chosen configuration once.
+	final, err := p.Run(k, sel.ConfigID, 2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  measured:  %.2f /s at %.1f W\n", final.Perf(), final.TotalPowerW())
+	return nil
+}

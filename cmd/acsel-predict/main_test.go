@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"acsel/internal/core"
+	"acsel/internal/kernels"
+	"acsel/internal/profiler"
+)
+
+func writeModel(t *testing.T) string {
+	t.Helper()
+	var ks []kernels.Kernel
+	for _, c := range kernels.Combos() {
+		if c.Benchmark == "LU" {
+			continue
+		}
+		ks = append(ks, c.Kernels...)
+	}
+	p := profiler.New()
+	opts := core.DefaultTrainOptions()
+	opts.Iterations = 1
+	profs, err := core.Characterize(p, ks, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.Train(p.Space, profs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPredictEndToEnd(t *testing.T) {
+	model := writeModel(t)
+	if err := run(model, "LU/Small/lud", 20, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	// Variance-aware path.
+	if err := run(model, "LU/Small/lud", 20, 1.5, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	model := writeModel(t)
+	if err := run(model, "", 20, 0, false); err == nil {
+		t.Error("missing kernel accepted")
+	}
+	if err := run(model, "No/Such/Kernel", 20, 0, false); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if err := run("/nonexistent/model.json", "LU/Small/lud", 20, 0, false); err == nil {
+		t.Error("missing model accepted")
+	}
+}
+
+func TestFindKernel(t *testing.T) {
+	k, err := findKernel("LULESH/Small/CalcQForElems")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name != "CalcQForElems" {
+		t.Errorf("kernel = %v", k.Name)
+	}
+}

@@ -1,0 +1,145 @@
+// Command acsel-sim drives the Trinity APU simulator directly: it runs
+// a kernel (from the suite, or a custom synthetic workload) at one
+// configuration or across the whole configuration space, printing
+// execution time, per-domain power, counters, and the measured Pareto
+// frontier. It is the "just the substrate" tool for exploring the
+// machine model without the prediction pipeline.
+//
+// Usage:
+//
+//	acsel-sim -kernel LULESH/Large/CalcQForElems -sweep
+//	acsel-sim -kernel LU/Small/lud -device GPU -cpu-freq 3.7 -gpu-freq 0.819
+//	acsel-sim -flops 5e8 -bytes 2e8 -parfrac 0.9 -gpu-affinity 0.3 -sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"acsel/internal/apu"
+	"acsel/internal/counters"
+	"acsel/internal/kernels"
+	"acsel/internal/pareto"
+)
+
+func main() {
+	kernelID := flag.String("kernel", "", "suite kernel as Benchmark/Input/Name (overrides -flops etc.)")
+	flops := flag.Float64("flops", 5e8, "synthetic workload: floating-point operations")
+	bytes := flag.Float64("bytes", 1e8, "synthetic workload: DRAM bytes")
+	parfrac := flag.Float64("parfrac", 0.95, "synthetic workload: parallel fraction")
+	vecfrac := flag.Float64("vecfrac", 0.5, "synthetic workload: vector instruction fraction")
+	gpuAff := flag.Float64("gpu-affinity", 0.25, "synthetic workload: GPU affinity (0..1]")
+	launch := flag.Float64("launch-cycles", 3e6, "synthetic workload: kernel-launch CPU cycles")
+
+	device := flag.String("device", "CPU", "device: CPU or GPU")
+	cpuFreq := flag.Float64("cpu-freq", 3.7, "CPU frequency in GHz")
+	threads := flag.Int("threads", 4, "CPU thread count")
+	gpuFreq := flag.Float64("gpu-freq", 0.311, "GPU frequency in GHz")
+	sweep := flag.Bool("sweep", false, "run the whole configuration space and print the frontier")
+	showCounters := flag.Bool("counters", false, "print the performance-counter readout")
+	flag.Parse()
+
+	if err := run(*kernelID, *flops, *bytes, *parfrac, *vecfrac, *gpuAff, *launch,
+		*device, *cpuFreq, *threads, *gpuFreq, *sweep, *showCounters); err != nil {
+		fmt.Fprintln(os.Stderr, "acsel-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func workloadFor(kernelID string, flops, bytes, parfrac, vecfrac, gpuAff, launch float64) (apu.Workload, error) {
+	if kernelID != "" {
+		for _, c := range kernels.Combos() {
+			for _, k := range c.Kernels {
+				if k.ID() == kernelID {
+					return k.Workload, nil
+				}
+			}
+		}
+		return apu.Workload{}, fmt.Errorf("unknown kernel %q", kernelID)
+	}
+	w := apu.Workload{
+		Name:           "synthetic",
+		FLOPs:          flops,
+		Bytes:          bytes,
+		ParFrac:        parfrac,
+		VecFrac:        vecfrac,
+		BranchFrac:     0.08,
+		GPUAffinity:    gpuAff,
+		GPUBytesFactor: 1.1,
+		LaunchCycles:   launch,
+		L1MissRate:     0.03,
+		L2MissRate:     0.3,
+		TLBMissRate:    0.002,
+		InstrPerFlop:   1.8,
+	}
+	return w, w.Validate()
+}
+
+func run(kernelID string, flops, bytes, parfrac, vecfrac, gpuAff, launch float64,
+	device string, cpuFreq float64, threads int, gpuFreq float64, sweep, showCounters bool) error {
+	w, err := workloadFor(kernelID, flops, bytes, parfrac, vecfrac, gpuAff, launch)
+	if err != nil {
+		return err
+	}
+	m := apu.DefaultMachine()
+	fmt.Printf("machine: %s\n", m)
+	fmt.Printf("workload: %s (%.3g flops, %.3g bytes, AI %.2f)\n", w.Name, w.FLOPs, w.Bytes, w.ArithmeticIntensity())
+
+	if sweep {
+		return runSweep(m, w)
+	}
+
+	var dev apu.Device
+	switch device {
+	case "CPU", "cpu":
+		dev = apu.CPUDevice
+	case "GPU", "gpu":
+		dev = apu.GPUDevice
+	default:
+		return fmt.Errorf("unknown device %q", device)
+	}
+	cfg := apu.Config{Device: dev, CPUFreqGHz: cpuFreq, Threads: threads, GPUFreqGHz: gpuFreq}
+	if dev == apu.GPUDevice {
+		cfg.Threads = 1
+	}
+	e, err := m.Run(w, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("config: %v\n", cfg)
+	fmt.Printf("time: %.6f s (comp %.6f, mem %.6f, launch %.6f, sync %.6f)\n",
+		e.TimeSec, e.CompTimeSec, e.MemTimeSec, e.LaunchTimeSec, e.SyncTimeSec)
+	fmt.Printf("power: CPU %.2f W, NB+GPU %.2f W, package %.2f W\n", e.CPUPowerW, e.NBGPUPowerW, e.TotalPowerW())
+	fmt.Printf("perf: %.3f /s, energy %.3f J, bw %.2f GB/s, stall %.2f, gpu util %.2f\n",
+		e.Perf(), e.EnergyJ(), e.AchievedBWGBs, e.StallFrac, e.GPUUtil)
+	if showCounters {
+		fmt.Printf("counters: %s\n", counters.Derive(w, e))
+	}
+	return nil
+}
+
+func runSweep(m *apu.Machine, w apu.Workload) error {
+	space := apu.NewSpace()
+	var pts []pareto.Point
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "id\tconfig\ttime_s\tpower_w\tperf")
+	for id, cfg := range space.Configs {
+		e, err := m.Run(w, cfg)
+		if err != nil {
+			return err
+		}
+		pts = append(pts, pareto.Point{ID: id, Power: e.TotalPowerW(), Perf: e.Perf()})
+		fmt.Fprintf(tw, "%d\t%v\t%.6f\t%.2f\t%.3f\n", id, cfg, e.TimeSec, e.TotalPowerW(), e.Perf())
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	front := pareto.New(pts)
+	fmt.Println("\nPareto frontier (ascending power):")
+	for _, pt := range front.Points() {
+		fmt.Printf("  %6.2f W  %10.3f /s  %v\n", pt.Power, pt.Perf, space.Configs[pt.ID])
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import "testing"
+
+func TestWorkloadForSuiteKernel(t *testing.T) {
+	w, err := workloadFor("LU/Small/lud", 0, 0, 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "lud" {
+		t.Errorf("workload = %v", w.Name)
+	}
+	if _, err := workloadFor("No/Such/Kernel", 0, 0, 0, 0, 0, 0); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestWorkloadForSynthetic(t *testing.T) {
+	w, err := workloadFor("", 1e8, 1e7, 0.9, 0.5, 0.3, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.FLOPs != 1e8 {
+		t.Errorf("FLOPs = %v", w.FLOPs)
+	}
+	if _, err := workloadFor("", -1, 1e7, 0.9, 0.5, 0.3, 1e6); err == nil {
+		t.Error("invalid synthetic workload accepted")
+	}
+}
+
+func TestRunSingleConfig(t *testing.T) {
+	if err := run("LU/Small/lud", 0, 0, 0, 0, 0, 0, "GPU", 3.7, 1, 0.819, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", 1e8, 1e7, 0.9, 0.5, 0.3, 1e6, "CPU", 2.4, 4, 0.311, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	if err := run("LU/Small/lud", 0, 0, 0, 0, 0, 0, "CPU", 0, 0, 0, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadDevice(t *testing.T) {
+	if err := run("LU/Small/lud", 0, 0, 0, 0, 0, 0, "TPU", 3.7, 1, 0.819, false, false); err == nil {
+		t.Error("unknown device accepted")
+	}
+}

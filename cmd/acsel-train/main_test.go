@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"acsel/internal/core"
+)
+
+func TestTrainWritesLoadableModel(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "model.json")
+	profiles := filepath.Join(dir, "profiles.json")
+	if err := run(out, "LULESH", 4, 1, false, profiles, false); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := core.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K != 4 {
+		t.Errorf("k = %d", m.K)
+	}
+	if fi, err := os.Stat(profiles); err != nil || fi.Size() == 0 {
+		t.Error("profiles dump missing or empty")
+	}
+}
+
+func TestTrainRejectsUnknownHoldout(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(filepath.Join(dir, "m.json"), "NotABenchmark", 5, 1, false, "", false); err == nil {
+		t.Error("unknown holdout accepted")
+	}
+}
+
+func TestTrainLogTargets(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "model.json")
+	if err := run(out, "", 5, 1, true, "", true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+// Clustercap: the multi-node context the paper motivates (§I) — a
+// cluster-wide power budget "passed down through the machine hierarchy"
+// to nodes, each running the adaptive runtime. Compares uniform,
+// demand-proportional, and predicted-utility water-fill dividers as the
+// global budget shrinks, showing how the per-kernel predicted Pareto
+// frontiers compose into cluster-level decisions.
+//
+//	go run ./examples/clustercap
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"acsel/internal/core"
+	"acsel/internal/hierarchy"
+	"acsel/internal/kernels"
+	"acsel/internal/profiler"
+	"acsel/internal/rts"
+)
+
+func main() {
+	// Train on SMC + LU; the cluster runs CoMD and LULESH nodes.
+	var training []kernels.Kernel
+	apps := map[string][]kernels.Kernel{}
+	for _, c := range kernels.Combos() {
+		switch {
+		case c.Benchmark == "CoMD" && c.Input == "Large":
+			apps["comd"] = c.Kernels
+		case c.Benchmark == "LULESH" && c.Input == "Large":
+			apps["lulesh"] = c.Kernels
+		case c.Benchmark == "SMC" || c.Benchmark == "LU":
+			training = append(training, c.Kernels...)
+		}
+	}
+	prof := profiler.New()
+	opts := core.DefaultTrainOptions()
+	opts.K = 4
+	profiles, err := core.Characterize(prof, training, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := core.Train(prof.Space, profiles, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, policy := range []hierarchy.Policy{hierarchy.Uniform, hierarchy.DemandProportional, hierarchy.WaterFill} {
+		fmt.Printf("policy: %v\n", policy)
+		nodes := []*hierarchy.Node{
+			mkNode(model, "node0/CoMD", apps["comd"], 30),
+			mkNode(model, "node1/LULESH", apps["lulesh"], 30),
+		}
+		cluster, err := hierarchy.NewCluster(nodes, 60, policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Budget schedule: generous, then a 25% cut, then deeper.
+		for step, budget := range []float64{60, 60, 45, 45, 34, 34} {
+			cluster.BudgetW = budget
+			caps, err := cluster.Rebalance()
+			if err != nil {
+				log.Fatal(err)
+			}
+			results, err := cluster.Step()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  step %d: budget %4.0f W -> caps [%.1f %.1f]", step, budget, caps[0], caps[1])
+			for _, r := range results {
+				fmt.Printf("  | %s: %.4fs %5.1fJ viol %d/%d", r.Node, r.TimeSec, r.EnergyJ, r.Violations, r.Kernels)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}
+
+func mkNode(model *core.Model, name string, app []kernels.Kernel, capW float64) *hierarchy.Node {
+	rt, err := rts.New(model, rts.Options{CapW: capW, FL: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return &hierarchy.Node{Name: name, Runtime: rt, App: app}
+}

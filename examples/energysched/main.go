@@ -1,0 +1,97 @@
+// Energysched: the paper notes (§III-C) that the predicted values "could
+// be used to select configurations for energy efficiency, energy-delay
+// product, or any other scheduling goal." This example selects per-kernel
+// configurations for three goals — max performance under a cap, minimum
+// energy, and minimum energy-delay product — from one set of predictions.
+//
+//	go run ./examples/energysched
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"acsel/internal/apu"
+	"acsel/internal/core"
+	"acsel/internal/kernels"
+	"acsel/internal/profiler"
+)
+
+func main() {
+	var training, held []kernels.Kernel
+	for _, combo := range kernels.Combos() {
+		if combo.Benchmark == "CoMD" {
+			if combo.Input == "Large" {
+				held = combo.Kernels
+			}
+			continue
+		}
+		training = append(training, combo.Kernels...)
+	}
+
+	prof := profiler.New()
+	opts := core.DefaultTrainOptions()
+	profiles, err := core.Characterize(prof, training, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := core.Train(prof.Space, profiles, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("CoMD Large: one prediction set, three scheduling goals")
+	fmt.Printf("%-20s %-30s %-30s %-30s\n", "kernel", "max perf under 25 W", "min energy", "min energy-delay product")
+	for _, k := range held {
+		cpuRun, err := prof.RunConfig(k, apu.SampleConfigCPU(), 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gpuRun, err := prof.RunConfig(k, apu.SampleConfigGPU(), 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		preds, _, err := model.PredictAll(core.SampleRuns{CPU: cpuRun, GPU: gpuRun})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Goal 1: performance under a 25 W cap.
+		bestPerf := pick(preds, func(p core.Prediction) (float64, bool) {
+			return p.Perf, p.PowerW <= 25
+		})
+		// Goal 2: minimum predicted energy per invocation (P/perf = J).
+		minEnergy := pick(preds, func(p core.Prediction) (float64, bool) {
+			return -p.PowerW / p.Perf, true
+		})
+		// Goal 3: minimum EDP = energy × delay = P / perf².
+		minEDP := pick(preds, func(p core.Prediction) (float64, bool) {
+			return -p.PowerW / (p.Perf * p.Perf), true
+		})
+
+		fmt.Printf("%-20s %-30v %-30v %-30v\n", k.Name,
+			preds[bestPerf].Config, preds[minEnergy].Config, preds[minEDP].Config)
+	}
+}
+
+// pick returns the index of the prediction maximizing score among the
+// eligible ones (falling back to the overall maximum when none is
+// eligible).
+func pick(preds []core.Prediction, score func(core.Prediction) (float64, bool)) int {
+	best, bestID := math.Inf(-1), -1
+	fallback, fallbackID := math.Inf(-1), 0
+	for i, p := range preds {
+		s, ok := score(p)
+		if s > fallback {
+			fallback, fallbackID = s, i
+		}
+		if ok && s > best {
+			best, bestID = s, i
+		}
+	}
+	if bestID < 0 {
+		return fallbackID
+	}
+	return bestID
+}

@@ -1,0 +1,3 @@
+module acsel
+
+go 1.22

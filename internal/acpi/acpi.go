@@ -1,0 +1,269 @@
+// Package acpi models the P-state management layer of §IV-A:
+// "Software-visible P-states are managed either by the OS through the
+// Advanced Configuration and Power Interface (ACPI) specification or by
+// the hardware." It exposes per-compute-unit P-state requests, enforces
+// the Trinity voltage-plane rule — all CPU compute units share one
+// voltage plane whose voltage is set by the fastest active CU — and
+// implements the OS governor policies through which the schedulers
+// drive DVFS, with transition-latency accounting.
+package acpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"acsel/internal/apu"
+)
+
+// NumCU is the number of CPU compute units (dual-core modules).
+const NumCU = apu.NumCores / 2
+
+// TransitionLatencySec is the cost of one P-state transition (voltage
+// ramp + PLL relock); a few tens of microseconds on Trinity-class
+// hardware.
+const TransitionLatencySec = 50e-6
+
+// Governor selects how P-state requests are resolved.
+type Governor int
+
+const (
+	// GovernorUserspace honors explicit per-CU requests (what the
+	// paper's runtime uses: "we require direct control over CPU
+	// P-states").
+	GovernorUserspace Governor = iota
+	// GovernorPerformance pins every CU to the highest P-state.
+	GovernorPerformance
+	// GovernorPowersave pins every CU to the lowest P-state.
+	GovernorPowersave
+)
+
+// String names the governor like sysfs does.
+func (g Governor) String() string {
+	switch g {
+	case GovernorUserspace:
+		return "userspace"
+	case GovernorPerformance:
+		return "performance"
+	case GovernorPowersave:
+		return "powersave"
+	}
+	return fmt.Sprintf("Governor(%d)", int(g))
+}
+
+// Manager tracks per-CU P-state requests and resolves the shared
+// voltage plane. It is safe for concurrent use (the paper's runtime
+// adjusts P-states from the application thread while measurement runs
+// elsewhere).
+type Manager struct {
+	mu        sync.Mutex
+	governor  Governor
+	requested [NumCU]int // index into apu.CPUPStates
+	gpuState  int        // index into apu.GPUPStates
+	// transitions counts P-state changes, for overhead accounting.
+	transitions int
+}
+
+// NewManager starts at the lowest CPU and GPU P-states under the
+// userspace governor.
+func NewManager() *Manager {
+	return &Manager{governor: GovernorUserspace}
+}
+
+// ErrBadCU is returned for out-of-range compute-unit indices.
+var ErrBadCU = errors.New("acpi: compute unit index out of range")
+
+// ErrBadPState is returned for out-of-range P-state indices.
+var ErrBadPState = errors.New("acpi: P-state index out of range")
+
+// SetGovernor switches policy; performance/powersave immediately
+// overwrite all CU requests.
+func (m *Manager) SetGovernor(g Governor) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.governor = g
+	switch g {
+	case GovernorPerformance:
+		for cu := range m.requested {
+			if m.requested[cu] != len(apu.CPUPStates)-1 {
+				m.requested[cu] = len(apu.CPUPStates) - 1
+				m.transitions++
+			}
+		}
+	case GovernorPowersave:
+		for cu := range m.requested {
+			if m.requested[cu] != 0 {
+				m.requested[cu] = 0
+				m.transitions++
+			}
+		}
+	}
+}
+
+// Governor returns the active policy.
+func (m *Manager) Governor() Governor {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.governor
+}
+
+// RequestCPU asks for P-state index ps on compute unit cu. Under
+// non-userspace governors the request is rejected, mirroring the sysfs
+// behaviour of writing to scaling_setspeed without the userspace
+// governor.
+func (m *Manager) RequestCPU(cu, ps int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cu < 0 || cu >= NumCU {
+		return fmt.Errorf("%w: %d", ErrBadCU, cu)
+	}
+	if ps < 0 || ps >= len(apu.CPUPStates) {
+		return fmt.Errorf("%w: CPU %d", ErrBadPState, ps)
+	}
+	if m.governor != GovernorUserspace {
+		return fmt.Errorf("acpi: governor %v rejects explicit requests", m.governor)
+	}
+	if m.requested[cu] != ps {
+		m.requested[cu] = ps
+		m.transitions++
+	}
+	return nil
+}
+
+// RequestCPUFreq is RequestCPU by frequency.
+func (m *Manager) RequestCPUFreq(cu int, freqGHz float64) error {
+	for i, p := range apu.CPUPStates {
+		if p.FreqGHz == freqGHz {
+			return m.RequestCPU(cu, i)
+		}
+	}
+	return fmt.Errorf("%w: %.3g GHz", apu.ErrUnknownPState, freqGHz)
+}
+
+// RequestGPU sets the GPU P-state (its own plane, independent voltage).
+func (m *Manager) RequestGPU(ps int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ps < 0 || ps >= len(apu.GPUPStates) {
+		return fmt.Errorf("%w: GPU %d", ErrBadPState, ps)
+	}
+	if m.gpuState != ps {
+		m.gpuState = ps
+		m.transitions++
+	}
+	return nil
+}
+
+// CUFrequency returns the granted frequency of a compute unit. All CUs
+// are granted their requested frequency — frequency is per-CU on
+// Trinity — but voltage is not (see PlaneVoltage).
+func (m *Manager) CUFrequency(cu int) (float64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cu < 0 || cu >= NumCU {
+		return 0, fmt.Errorf("%w: %d", ErrBadCU, cu)
+	}
+	return apu.CPUPStates[m.requested[cu]].FreqGHz, nil
+}
+
+// GPUFrequency returns the granted GPU frequency.
+func (m *Manager) GPUFrequency() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return apu.GPUPStates[m.gpuState].FreqGHz
+}
+
+// PlaneVoltage resolves the shared CPU voltage plane: "since all
+// compute units on the chip share a voltage plane, the voltage across
+// all compute units is set by the CU with maximum frequency" (§IV-A).
+func (m *Manager) PlaneVoltage() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	maxPS := 0
+	for _, ps := range m.requested {
+		if ps > maxPS {
+			maxPS = ps
+		}
+	}
+	return apu.CPUPStates[maxPS].Voltage
+}
+
+// EffectivePower returns the voltage-plane penalty factor of a CU: the
+// ratio between the plane voltage squared and the CU's own P-state
+// voltage squared. A CU parked at 1.4 GHz next to a CU at 3.7 GHz burns
+// V(3.7)²/V(1.4)² times more dynamic power per cycle than it would on
+// an independent plane — the reason the paper's schedulers run all
+// active cores at one frequency.
+func (m *Manager) EffectivePower(cu int) (float64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cu < 0 || cu >= NumCU {
+		return 0, fmt.Errorf("%w: %d", ErrBadCU, cu)
+	}
+	maxPS := 0
+	for _, ps := range m.requested {
+		if ps > maxPS {
+			maxPS = ps
+		}
+	}
+	own := apu.CPUPStates[m.requested[cu]].Voltage
+	plane := apu.CPUPStates[maxPS].Voltage
+	return (plane * plane) / (own * own), nil
+}
+
+// Transitions returns the total number of P-state changes performed.
+func (m *Manager) Transitions() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.transitions
+}
+
+// TransitionOverheadSec returns the cumulative DVFS transition cost.
+func (m *Manager) TransitionOverheadSec() float64 {
+	return float64(m.Transitions()) * TransitionLatencySec
+}
+
+// Apply configures the manager to realize an apu.Config: all CUs that
+// host the configuration's threads at the config's CPU P-state, idle
+// CUs at the lowest P-state, and the GPU at the config's GPU P-state.
+func (m *Manager) Apply(cfg apu.Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	var cpuPS int = -1
+	for i, p := range apu.CPUPStates {
+		if p.FreqGHz == cfg.CPUFreqGHz {
+			cpuPS = i
+		}
+	}
+	if cpuPS < 0 {
+		// Boost frequencies are outside ACPI's software-visible table.
+		return fmt.Errorf("%w: %.3g GHz not software-visible", apu.ErrUnknownPState, cfg.CPUFreqGHz)
+	}
+	var gpuPS int = -1
+	for i, p := range apu.GPUPStates {
+		if p.FreqGHz == cfg.GPUFreqGHz {
+			gpuPS = i
+		}
+	}
+	if gpuPS < 0 {
+		return fmt.Errorf("%w: GPU %.3g GHz", apu.ErrUnknownPState, cfg.GPUFreqGHz)
+	}
+	// Threads spread across modules first (cores 0,2 then 1,3), so the
+	// number of active CUs is ceil(threads/2) for CPU configs and 1 for
+	// the GPU host thread.
+	activeCU := 1
+	if cfg.Device == apu.CPUDevice {
+		activeCU = (cfg.Threads + 1) / 2
+	}
+	for cu := 0; cu < NumCU; cu++ {
+		want := 0 // idle CUs park at the lowest P-state
+		if cu < activeCU {
+			want = cpuPS
+		}
+		if err := m.RequestCPU(cu, want); err != nil {
+			return err
+		}
+	}
+	return m.RequestGPU(gpuPS)
+}

@@ -1,0 +1,157 @@
+package apu
+
+import (
+	"fmt"
+)
+
+// Config is one hardware configuration: the device a kernel executes
+// on, the CPU P-state and thread count, and the GPU P-state. This is
+// the unit of selection throughout the paper.
+//
+// Conventions, matching the paper's methodology (§V-A, Table I):
+//   - CPU configurations keep the GPU parked at its minimum P-state.
+//   - GPU configurations use a single host thread; the CPU P-state
+//     still matters because the OpenCL runtime and kernel-launch path
+//     run on the CPU.
+type Config struct {
+	Device     Device
+	CPUFreqGHz float64
+	Threads    int
+	GPUFreqGHz float64
+}
+
+// NumCores is the number of CPU cores on the Trinity die (two dual-core
+// Piledriver modules).
+const NumCores = 4
+
+// Validate checks that the configuration is realizable on the machine.
+func (c Config) Validate() error {
+	if _, err := CPUVoltage(c.CPUFreqGHz); err != nil {
+		return err
+	}
+	if _, err := GPUVoltage(c.GPUFreqGHz); err != nil {
+		return err
+	}
+	switch c.Device {
+	case CPUDevice:
+		if c.Threads < 1 || c.Threads > NumCores {
+			return fmt.Errorf("apu: CPU config with %d threads (want 1..%d)", c.Threads, NumCores)
+		}
+	case GPUDevice:
+		if c.Threads != 1 {
+			return fmt.Errorf("apu: GPU config with %d host threads (want 1)", c.Threads)
+		}
+	default:
+		return fmt.Errorf("apu: unknown device %d", int(c.Device))
+	}
+	return nil
+}
+
+// String renders the configuration compactly, e.g.
+// "CPU f=2.4GHz t=4 gpu=0.311GHz".
+func (c Config) String() string {
+	return fmt.Sprintf("%s f=%.3gGHz t=%d gpu=%.3gGHz", c.Device, c.CPUFreqGHz, c.Threads, c.GPUFreqGHz)
+}
+
+// Features returns the raw regression features for this configuration:
+// [CPU GHz, threads, GPU GHz]. First-order interactions are appended by
+// the regression layer itself (paper §III-B: "the configuration
+// variables (frequency, number of cores, etc.) and their first-order
+// interactions").
+func (c Config) Features() []float64 {
+	return []float64{c.CPUFreqGHz, float64(c.Threads), c.GPUFreqGHz}
+}
+
+// FeatureNames labels Features entries, for reporting.
+func FeatureNames() []string { return []string{"cpu_ghz", "threads", "gpu_ghz"} }
+
+// Space is an enumerated configuration space with stable integer IDs.
+// IDs index into Configs and are the identifiers used on Pareto
+// frontiers.
+type Space struct {
+	Configs []Config
+	index   map[Config]int
+}
+
+// NewSpace enumerates the full configuration space of the machine:
+// every CPU P-state × thread count with the GPU parked (24 configs),
+// plus every GPU P-state × CPU P-state with one host thread (18
+// configs) — 42 in total, mirroring the dense space of §III.
+func NewSpace() *Space {
+	s := &Space{index: make(map[Config]int)}
+	for _, cp := range CPUPStates {
+		for t := 1; t <= NumCores; t++ {
+			s.add(Config{Device: CPUDevice, CPUFreqGHz: cp.FreqGHz, Threads: t, GPUFreqGHz: MinGPUFreq()})
+		}
+	}
+	for _, gp := range GPUPStates {
+		for _, cp := range CPUPStates {
+			s.add(Config{Device: GPUDevice, CPUFreqGHz: cp.FreqGHz, Threads: 1, GPUFreqGHz: gp.FreqGHz})
+		}
+	}
+	return s
+}
+
+// NewSpaceWithBoost enumerates the regular space plus opportunistic
+// CPU boost states (paper §VI) for CPU-device configurations.
+func NewSpaceWithBoost() *Space {
+	s := NewSpace()
+	for _, bp := range BoostPStates {
+		for t := 1; t <= NumCores; t++ {
+			s.add(Config{Device: CPUDevice, CPUFreqGHz: bp.FreqGHz, Threads: t, GPUFreqGHz: MinGPUFreq()})
+		}
+	}
+	return s
+}
+
+func (s *Space) add(c Config) {
+	if _, dup := s.index[c]; dup {
+		return
+	}
+	s.index[c] = len(s.Configs)
+	s.Configs = append(s.Configs, c)
+}
+
+// Len returns the number of configurations.
+func (s *Space) Len() int { return len(s.Configs) }
+
+// IDOf returns the stable ID of a configuration, or -1 if it is not in
+// the space.
+func (s *Space) IDOf(c Config) int {
+	if id, ok := s.index[c]; ok {
+		return id
+	}
+	return -1
+}
+
+// ByID returns the configuration with the given ID.
+func (s *Space) ByID(id int) (Config, error) {
+	if id < 0 || id >= len(s.Configs) {
+		return Config{}, fmt.Errorf("apu: config ID %d out of range [0,%d)", id, len(s.Configs))
+	}
+	return s.Configs[id], nil
+}
+
+// DeviceConfigs returns the IDs of all configurations on a device.
+func (s *Space) DeviceConfigs(d Device) []int {
+	var ids []int
+	for i, c := range s.Configs {
+		if c.Device == d {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+// SampleConfigCPU is the CPU sample configuration from Table II: all
+// cores at maximum frequency with the GPU parked — the common
+// unconstrained CPU execution setup.
+func SampleConfigCPU() Config {
+	return Config{Device: CPUDevice, CPUFreqGHz: MaxCPUFreq(), Threads: NumCores, GPUFreqGHz: MinGPUFreq()}
+}
+
+// SampleConfigGPU is the GPU sample configuration from Table II: GPU at
+// maximum frequency with the host at maximum frequency.
+func SampleConfigGPU() Config {
+	return Config{Device: GPUDevice, CPUFreqGHz: MaxCPUFreq(), Threads: 1, GPUFreqGHz: MaxGPUFreq()}
+}

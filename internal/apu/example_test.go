@@ -1,0 +1,38 @@
+package apu_test
+
+import (
+	"fmt"
+
+	"acsel/internal/apu"
+)
+
+// Running one kernel on the machine model at a specific configuration.
+// The analytic model is deterministic: this output is reproducible.
+func ExampleMachine_Run() {
+	m := apu.DefaultMachine()
+	w := apu.Workload{
+		Name:           "stream-like",
+		FLOPs:          1e8,
+		Bytes:          4e8, // memory-bound: AI = 0.25
+		ParFrac:        0.95,
+		VecFrac:        0.4,
+		BranchFrac:     0.05,
+		GPUAffinity:    0.2,
+		GPUBytesFactor: 1.0,
+		LaunchCycles:   2e6,
+		L1MissRate:     0.05,
+		L2MissRate:     0.5,
+		TLBMissRate:    0.002,
+		InstrPerFlop:   2.0,
+	}
+	cfg := apu.Config{Device: apu.CPUDevice, CPUFreqGHz: 2.4, Threads: 4, GPUFreqGHz: apu.MinGPUFreq()}
+	e, err := m.Run(w, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("memory-bound: stall fraction %.2f, bandwidth %.1f GB/s\n", e.StallFrac, e.AchievedBWGBs)
+	fmt.Printf("power: CPU %.1f W + NB/GPU %.1f W\n", e.CPUPowerW, e.NBGPUPowerW)
+	// Output:
+	// memory-bound: stall fraction 0.86, bandwidth 19.2 GB/s
+	// power: CPU 12.6 W + NB/GPU 7.8 W
+}

@@ -1,0 +1,114 @@
+package apu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// HybridExecution is the outcome of a CPU+GPU co-run of one kernel,
+// used to examine the paper's §III-A argument for excluding hybrid
+// execution: "even if hybrid execution increases performance, it will
+// strictly lower power-efficiency compared to the best single device".
+type HybridExecution struct {
+	CPUPart Execution
+	GPUPart Execution
+	// Split is the fraction of work sent to the GPU.
+	Split float64
+	// TimeSec is the co-run completion time (the slower partition,
+	// plus combine overhead).
+	TimeSec float64
+	// CPUPowerW and NBGPUPowerW are the co-run's domain powers.
+	CPUPowerW   float64
+	NBGPUPowerW float64
+}
+
+// TotalPowerW is the package power of the co-run.
+func (h HybridExecution) TotalPowerW() float64 { return h.CPUPowerW + h.NBGPUPowerW }
+
+// Perf is the co-run throughput.
+func (h HybridExecution) Perf() float64 { return 1 / h.TimeSec }
+
+// hybridCombineOverhead is the fraction of the faster partition's time
+// spent splitting inputs and merging outputs (§III-A: "the programmer
+// [must] split kernel inputs and combine outputs").
+const hybridCombineOverhead = 0.08
+
+// ErrBadSplit is returned for splits outside (0, 1).
+var ErrBadSplit = errors.New("apu: hybrid split must be in (0, 1)")
+
+// RunHybrid executes workload w with fraction split of its work on the
+// GPU and the remainder on the CPU, both partitions running
+// concurrently at the given configurations. The CPU configuration must
+// be a CPU-device config and the GPU configuration a GPU-device config;
+// the shared memory controller and both power planes are active for the
+// duration of the slower partition.
+func (m *Machine) RunHybrid(w Workload, cpuCfg, gpuCfg Config, split float64) (HybridExecution, error) {
+	if split <= 0 || split >= 1 {
+		return HybridExecution{}, fmt.Errorf("%w: %v", ErrBadSplit, split)
+	}
+	if cpuCfg.Device != CPUDevice || gpuCfg.Device != GPUDevice {
+		return HybridExecution{}, errors.New("apu: RunHybrid needs one CPU and one GPU configuration")
+	}
+	cpuPart := w
+	cpuPart.FLOPs = w.FLOPs * (1 - split)
+	cpuPart.Bytes = w.Bytes * (1 - split)
+	gpuPart := w
+	gpuPart.FLOPs = w.FLOPs * split
+	gpuPart.Bytes = w.Bytes * split
+
+	ec, err := m.runCPU(cpuPart, cpuCfg)
+	if err != nil {
+		return HybridExecution{}, err
+	}
+	eg, err := m.runGPU(gpuPart, gpuCfg)
+	if err != nil {
+		return HybridExecution{}, err
+	}
+
+	// Both partitions contend for the shared memory controller; the
+	// slower side sets completion, and load imbalance plus the
+	// split/combine overhead is pure loss.
+	slower := math.Max(ec.TimeSec, eg.TimeSec)
+	faster := math.Min(ec.TimeSec, eg.TimeSec)
+	contention := 1 + 0.15*math.Min(1, (ec.AchievedBWGBs+eg.AchievedBWGBs)/m.PeakBWGBs)
+	total := slower*contention + faster*hybridCombineOverhead
+
+	// Power: energy-conserving accounting. Each domain draws its active
+	// power while its partition runs and an idle floor afterwards; the
+	// CPU partition's DRAM traffic also flows through the NB domain
+	// (shared memory controller), which single-device runs don't pay on
+	// top of a busy GPU.
+	const cpuIdleFrac, nbIdleFrac = 0.35, 0.4
+	cpuEnergy := ec.CPUPowerW*ec.TimeSec + cpuIdleFrac*ec.CPUPowerW*(total-ec.TimeSec)
+	nbEnergy := eg.NBGPUPowerW*eg.TimeSec + nbIdleFrac*eg.NBGPUPowerW*(total-eg.TimeSec) +
+		m.DRAMWPerGBs*ec.AchievedBWGBs*ec.TimeSec
+
+	return HybridExecution{
+		CPUPart: ec, GPUPart: eg, Split: split,
+		TimeSec: total, CPUPowerW: cpuEnergy / total, NBGPUPowerW: nbEnergy / total,
+	}, nil
+}
+
+// BestHybridSplit sweeps work splits and returns the hybrid execution
+// with the highest throughput, for comparing against single-device
+// configurations.
+func (m *Machine) BestHybridSplit(w Workload, cpuCfg, gpuCfg Config, steps int) (HybridExecution, error) {
+	if steps < 2 {
+		steps = 9
+	}
+	var best HybridExecution
+	bestPerf := math.Inf(-1)
+	for i := 1; i <= steps; i++ {
+		split := float64(i) / float64(steps+1)
+		h, err := m.RunHybrid(w, cpuCfg, gpuCfg, split)
+		if err != nil {
+			return HybridExecution{}, err
+		}
+		if h.Perf() > bestPerf {
+			bestPerf = h.Perf()
+			best = h
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,147 @@
+package apu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func hybridConfigs() (Config, Config) {
+	return Config{CPUDevice, MaxCPUFreq(), 4, MinGPUFreq()},
+		Config{GPUDevice, MaxCPUFreq(), 1, MaxGPUFreq()}
+}
+
+func TestRunHybridValidation(t *testing.T) {
+	m := DefaultMachine()
+	w := testWorkload()
+	cpu, gpu := hybridConfigs()
+	if _, err := m.RunHybrid(w, cpu, gpu, 0); err == nil {
+		t.Error("split 0 accepted")
+	}
+	if _, err := m.RunHybrid(w, cpu, gpu, 1); err == nil {
+		t.Error("split 1 accepted")
+	}
+	if _, err := m.RunHybrid(w, gpu, cpu, 0.5); err == nil {
+		t.Error("swapped device configs accepted")
+	}
+}
+
+func TestRunHybridBasics(t *testing.T) {
+	m := DefaultMachine()
+	w := testWorkload()
+	cpu, gpu := hybridConfigs()
+	h, err := m.RunHybrid(w, cpu, gpu, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.TimeSec <= 0 || h.TotalPowerW() <= 0 {
+		t.Fatalf("hybrid execution: %+v", h)
+	}
+	// The co-run cannot finish before its slower partition.
+	slower := h.CPUPart.TimeSec
+	if h.GPUPart.TimeSec > slower {
+		slower = h.GPUPart.TimeSec
+	}
+	if h.TimeSec < slower {
+		t.Errorf("hybrid time %v below slower partition %v", h.TimeSec, slower)
+	}
+}
+
+func TestHybridCanBeatSingleDeviceOnPerf(t *testing.T) {
+	// §III-A concedes hybrid can raise raw performance (up to 2× in the
+	// best case). With a balanced kernel an optimal split should beat
+	// the best single device on throughput.
+	m := DefaultMachine()
+	w := testWorkload()
+	w.GPUAffinity = 0.12 // make devices comparable in speed
+	cpu, gpu := hybridConfigs()
+	ec, err := m.Run(w, cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eg, err := m.Run(w, gpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestSingle := ec.Perf()
+	if eg.Perf() > bestSingle {
+		bestSingle = eg.Perf()
+	}
+	h, err := m.BestHybridSplit(w, cpu, gpu, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Perf() <= bestSingle {
+		t.Skipf("hybrid did not beat single device for this kernel (%.3g vs %.3g) — allowed, but weakens the test premise", h.Perf(), bestSingle)
+	}
+	if h.Perf() > 2*bestSingle {
+		t.Errorf("hybrid exceeded the paper's 2x bound: %v vs %v", h.Perf(), bestSingle)
+	}
+}
+
+// The §III-A claim this model must reproduce: hybrid execution
+// (almost) never improves power efficiency over the best single device,
+// and when static-power amortization lets it edge ahead, the margin is
+// small — "the benefit of hybrid execution in a power-constrained
+// environment is often much lower than the best case". The claim is a
+// qualitative engineering argument, not a theorem, so the assertion is
+// statistical: hybrid wins perf/W in at most a small minority of
+// kernels and never by a meaningful factor.
+func TestHybridRarelyImprovesPowerEfficiency(t *testing.T) {
+	m := DefaultMachine()
+	rng := rand.New(rand.NewSource(41))
+	cpu, gpu := hybridConfigs()
+	const trials = 40
+	wins := 0
+	for trial := 0; trial < trials; trial++ {
+		w := randomWorkload(rng)
+		ec, err := m.Run(w, cpu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eg, err := m.Run(w, gpu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bestEff := ec.Perf() / ec.TotalPowerW()
+		if e := eg.Perf() / eg.TotalPowerW(); e > bestEff {
+			bestEff = e
+		}
+		h, err := m.BestHybridSplit(w, cpu, gpu, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hybridEff := h.Perf() / h.TotalPowerW()
+		if hybridEff > bestEff {
+			wins++
+			if hybridEff > bestEff*1.15 {
+				t.Errorf("trial %d: hybrid perf/W %v beats best single device %v by >15%%",
+					trial, hybridEff, bestEff)
+			}
+		}
+	}
+	if wins > trials/5 {
+		t.Errorf("hybrid improved power efficiency in %d/%d kernels — contradicts §III-A premise", wins, trials)
+	}
+	t.Logf("hybrid perf/W wins: %d/%d (all within 15%%)", wins, trials)
+}
+
+func TestBestHybridSplitDefaultSteps(t *testing.T) {
+	m := DefaultMachine()
+	w := testWorkload()
+	cpu, gpu := hybridConfigs()
+	if _, err := m.BestHybridSplit(w, cpu, gpu, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRunHybrid(b *testing.B) {
+	m := DefaultMachine()
+	w := testWorkload()
+	cpu, gpu := hybridConfigs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.RunHybrid(w, cpu, gpu, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package apu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomWorkload draws a valid workload from bounded uniform ranges.
+func randomWorkload(rng *rand.Rand) Workload {
+	return Workload{
+		Name:           "prop",
+		FLOPs:          1e6 + rng.Float64()*5e9,
+		Bytes:          1e5 + rng.Float64()*2e9,
+		ParFrac:        rng.Float64(),
+		VecFrac:        rng.Float64(),
+		BranchFrac:     rng.Float64() * 0.5,
+		GPUAffinity:    0.01 + rng.Float64()*0.99,
+		GPUBytesFactor: 0.5 + rng.Float64()*1.5,
+		LaunchCycles:   rng.Float64() * 1e8,
+		L1MissRate:     rng.Float64() * 0.2,
+		L2MissRate:     rng.Float64(),
+		TLBMissRate:    rng.Float64() * 0.01,
+		InstrPerFlop:   0.5 + rng.Float64()*3,
+	}
+}
+
+// Property: every execution over the whole space is finite and
+// positive, for arbitrary valid workloads.
+func TestPropertyExecutionsAlwaysFinite(t *testing.T) {
+	m := DefaultMachine()
+	space := NewSpace()
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		w := randomWorkload(rng)
+		for _, cfg := range space.Configs {
+			e, err := m.Run(w, cfg)
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, cfg, err)
+			}
+			for name, v := range map[string]float64{
+				"time": e.TimeSec, "cpuW": e.CPUPowerW, "nbW": e.NBGPUPowerW,
+			} {
+				if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("trial %d %v: %s = %v", trial, cfg, name, v)
+				}
+			}
+			if math.Abs(e.EnergyJ()-e.TotalPowerW()*e.TimeSec) > 1e-9*e.EnergyJ() {
+				t.Fatalf("energy identity violated")
+			}
+		}
+	}
+}
+
+// Property: CPU power is non-decreasing in thread count at fixed
+// frequency (more active cores never draw less power).
+func TestPropertyCPUPowerMonotoneInThreads(t *testing.T) {
+	m := DefaultMachine()
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 40; trial++ {
+		w := randomWorkload(rng)
+		for _, ps := range CPUPStates {
+			prev := -1.0
+			for n := 1; n <= NumCores; n++ {
+				e, err := m.Run(w, Config{CPUDevice, ps.FreqGHz, n, MinGPUFreq()})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if e.CPUPowerW < prev-1e-9 {
+					t.Fatalf("trial %d f=%v: power decreased from %v to %v at %d threads",
+						trial, ps.FreqGHz, prev, e.CPUPowerW, n)
+				}
+				prev = e.CPUPowerW
+			}
+		}
+	}
+}
+
+// Property: package power is non-decreasing in CPU frequency at fixed
+// thread count (V²f dominates activity effects in this machine).
+func TestPropertyPowerMonotoneInCPUFreq(t *testing.T) {
+	m := DefaultMachine()
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 40; trial++ {
+		w := randomWorkload(rng)
+		for n := 1; n <= NumCores; n++ {
+			prev := -1.0
+			for _, ps := range CPUPStates {
+				e, err := m.Run(w, Config{CPUDevice, ps.FreqGHz, n, MinGPUFreq()})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if e.CPUPowerW < prev-1e-9 {
+					t.Fatalf("trial %d t=%d: CPU power decreased at f=%v", trial, n, ps.FreqGHz)
+				}
+				prev = e.CPUPowerW
+			}
+		}
+	}
+}
+
+// Property: execution time is non-increasing in CPU frequency on the
+// CPU device (frequency never hurts in this machine model).
+func TestPropertyTimeMonotoneInCPUFreq(t *testing.T) {
+	m := DefaultMachine()
+	rng := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 40; trial++ {
+		w := randomWorkload(rng)
+		for n := 1; n <= NumCores; n++ {
+			prev := math.Inf(1)
+			for _, ps := range CPUPStates {
+				e, err := m.Run(w, Config{CPUDevice, ps.FreqGHz, n, MinGPUFreq()})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if e.TimeSec > prev*(1+1e-9) {
+					t.Fatalf("trial %d t=%d: time increased with frequency at f=%v", trial, n, ps.FreqGHz)
+				}
+				prev = e.TimeSec
+			}
+		}
+	}
+}
+
+// Property: GPU execution time is non-increasing in GPU frequency.
+func TestPropertyGPUTimeMonotoneInGPUFreq(t *testing.T) {
+	m := DefaultMachine()
+	rng := rand.New(rand.NewSource(35))
+	for trial := 0; trial < 40; trial++ {
+		w := randomWorkload(rng)
+		for _, cp := range CPUPStates {
+			prev := math.Inf(1)
+			for _, gp := range GPUPStates {
+				e, err := m.Run(w, Config{GPUDevice, cp.FreqGHz, 1, gp.FreqGHz})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if e.TimeSec > prev*(1+1e-9) {
+					t.Fatalf("trial %d: GPU time increased with frequency", trial)
+				}
+				prev = e.TimeSec
+			}
+		}
+	}
+}
+
+// Property (testing/quick): the configuration space's ID mapping is a
+// bijection — IDOf(ByID(i)) == i for all i the generator produces.
+func TestPropertySpaceBijection(t *testing.T) {
+	s := NewSpaceWithBoost()
+	f := func(raw uint32) bool {
+		id := int(raw) % s.Len()
+		cfg, err := s.ByID(id)
+		if err != nil {
+			return false
+		}
+		return s.IDOf(cfg) == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (testing/quick): voltage lookups succeed exactly for
+// frequencies in the P-state tables.
+func TestPropertyVoltageLookupClosed(t *testing.T) {
+	f := func(raw uint8) bool {
+		i := int(raw) % len(CPUPStates)
+		v, err := CPUVoltage(CPUPStates[i].FreqGHz)
+		return err == nil && v > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Perturbed frequencies must fail.
+	g := func(raw uint8, eps float64) bool {
+		i := int(raw) % len(CPUPStates)
+		d := math.Mod(math.Abs(eps), 0.05) + 0.001
+		_, err := CPUVoltage(CPUPStates[i].FreqGHz + d)
+		return err != nil
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the minimum-power configuration of any workload is the
+// 1-thread minimum-frequency CPU configuration (the machine's floor),
+// which is what the oracle's fallback and the FL baselines rely on.
+func TestPropertyPowerFloorConfig(t *testing.T) {
+	m := DefaultMachine()
+	space := NewSpace()
+	rng := rand.New(rand.NewSource(36))
+	floor := Config{CPUDevice, MinCPUFreq(), 1, MinGPUFreq()}
+	for trial := 0; trial < 60; trial++ {
+		w := randomWorkload(rng)
+		eFloor, err := m.Run(w, floor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range space.Configs {
+			e, err := m.Run(w, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.TotalPowerW() < eFloor.TotalPowerW()-1e-9 {
+				t.Fatalf("trial %d: %v draws %v W, below floor %v W", trial, cfg, e.TotalPowerW(), eFloor.TotalPowerW())
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package apu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Workload describes one computational kernel's intrinsic
+// characteristics — the quantities that, together with a Config,
+// determine execution time, power draw, and performance-counter
+// activity under the analytic machine model. The kernel catalog
+// (internal/kernels) instantiates one Workload per kernel and input
+// size.
+type Workload struct {
+	// Name identifies the kernel (e.g. "CalcFBHourglassForceForElems").
+	Name string
+
+	// FLOPs is the floating-point work per kernel invocation.
+	FLOPs float64
+	// Bytes is the DRAM traffic per invocation on the CPU path.
+	Bytes float64
+
+	// ParFrac is the Amdahl parallel fraction of the OpenMP
+	// implementation (0..1).
+	ParFrac float64
+	// VecFrac is the fraction of dynamic instructions that are vector
+	// (SIMD) operations; it boosts CPU flop throughput and shows up in
+	// the vector-instruction counter.
+	VecFrac float64
+	// BranchFrac is the conditional-branch fraction of dynamic
+	// instructions; branchy kernels vectorize poorly on the GPU.
+	BranchFrac float64
+
+	// GPUAffinity in (0..1] scales the GPU's achievable fraction of its
+	// peak throughput for this kernel: data-parallel dense kernels sit
+	// near 1, divergent or irregular kernels far below.
+	GPUAffinity float64
+	// GPUBytesFactor scales DRAM traffic on the GPU path relative to
+	// Bytes (layout changes, staging copies).
+	GPUBytesFactor float64
+	// LaunchCycles is CPU work (cycles) spent in the OpenCL driver and
+	// runtime per invocation — the kernel-launch overhead that makes
+	// GPU configurations sensitive to CPU frequency (Table I note).
+	LaunchCycles float64
+
+	// L1MissRate, L2MissRate, TLBMissRate parameterize the cache
+	// hierarchy behaviour per memory operation (L2 rate is per L1 miss).
+	L1MissRate  float64
+	L2MissRate  float64
+	TLBMissRate float64
+
+	// InstrPerFlop converts floating-point work into total dynamic
+	// instructions (loads/stores, address arithmetic, control).
+	InstrPerFlop float64
+}
+
+// ErrBadWorkload is returned by Validate for out-of-range parameters.
+var ErrBadWorkload = errors.New("apu: invalid workload")
+
+// Validate range-checks the workload parameters.
+func (w Workload) Validate() error {
+	fail := func(field string, v float64) error {
+		return fmt.Errorf("%w: %s=%v (%s)", ErrBadWorkload, field, v, w.Name)
+	}
+	if w.FLOPs <= 0 {
+		return fail("FLOPs", w.FLOPs)
+	}
+	if w.Bytes <= 0 {
+		return fail("Bytes", w.Bytes)
+	}
+	if w.ParFrac < 0 || w.ParFrac > 1 {
+		return fail("ParFrac", w.ParFrac)
+	}
+	if w.VecFrac < 0 || w.VecFrac > 1 {
+		return fail("VecFrac", w.VecFrac)
+	}
+	if w.BranchFrac < 0 || w.BranchFrac > 1 {
+		return fail("BranchFrac", w.BranchFrac)
+	}
+	if w.GPUAffinity <= 0 || w.GPUAffinity > 1 {
+		return fail("GPUAffinity", w.GPUAffinity)
+	}
+	if w.GPUBytesFactor <= 0 {
+		return fail("GPUBytesFactor", w.GPUBytesFactor)
+	}
+	if w.LaunchCycles < 0 {
+		return fail("LaunchCycles", w.LaunchCycles)
+	}
+	if w.L1MissRate < 0 || w.L1MissRate > 1 {
+		return fail("L1MissRate", w.L1MissRate)
+	}
+	if w.L2MissRate < 0 || w.L2MissRate > 1 {
+		return fail("L2MissRate", w.L2MissRate)
+	}
+	if w.TLBMissRate < 0 || w.TLBMissRate > 1 {
+		return fail("TLBMissRate", w.TLBMissRate)
+	}
+	if w.InstrPerFlop <= 0 {
+		return fail("InstrPerFlop", w.InstrPerFlop)
+	}
+	return nil
+}
+
+// ArithmeticIntensity returns FLOPs per DRAM byte on the CPU path — the
+// roofline position that determines whether a kernel is compute- or
+// memory-bound.
+func (w Workload) ArithmeticIntensity() float64 { return w.FLOPs / w.Bytes }

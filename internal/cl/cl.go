@@ -1,0 +1,251 @@
+// Package cl is a miniature OpenCL-style runtime: contexts, in-order
+// command queues, kernel launches with driver overhead on the host CPU,
+// and event profiling in the style of clGetEventProfilingInfo. The
+// paper's profiling library instruments exactly this layer ("effected
+// through dynamic library interposition, wrapping OpenCL API calls",
+// §III-D); the Hook interface is that interposition point. Execution is
+// backed by the apu machine model over a virtual clock, so enqueue
+// ordering, launch latency, and per-kernel timing behave like the real
+// runtime without real hardware.
+package cl
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"acsel/internal/apu"
+)
+
+// Context owns a machine and the virtual clock shared by its queues.
+type Context struct {
+	machine *apu.Machine
+
+	mu  sync.Mutex
+	now float64 // virtual seconds since context creation
+}
+
+// NewContext creates a context over a machine model (nil means the
+// default machine).
+func NewContext(m *apu.Machine) *Context {
+	if m == nil {
+		m = apu.DefaultMachine()
+	}
+	return &Context{machine: m}
+}
+
+// Now returns the virtual time.
+func (c *Context) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *Context) advance(d float64) (start, end float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	start = c.now
+	c.now += d
+	return start, c.now
+}
+
+// Kernel wraps a workload as an enqueueable kernel object.
+type Kernel struct {
+	Name     string
+	Workload apu.Workload
+}
+
+// NewKernel validates and wraps a workload.
+func NewKernel(w apu.Workload) (*Kernel, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return &Kernel{Name: w.Name, Workload: w}, nil
+}
+
+// EventStatus tracks an event's lifecycle, mirroring CL_QUEUED →
+// CL_SUBMITTED → CL_RUNNING → CL_COMPLETE.
+type EventStatus int
+
+const (
+	// Queued: accepted into the command queue.
+	Queued EventStatus = iota
+	// Complete: execution finished (the virtual clock makes submission
+	// and running instantaneousy observable; Finish resolves them).
+	Complete
+)
+
+// Event is the profiling record of one enqueued command, with the four
+// OpenCL profiling timestamps in virtual seconds.
+type Event struct {
+	Kernel    string
+	Config    apu.Config
+	Status    EventStatus
+	QueuedAt  float64
+	SubmitAt  float64
+	StartAt   float64
+	EndAt     float64
+	Execution apu.Execution
+	Iteration int
+}
+
+// Duration is the kernel execution time (start→end).
+func (e *Event) Duration() float64 { return e.EndAt - e.StartAt }
+
+// LaunchLatency is the driver-side delay before execution (queued→start).
+func (e *Event) LaunchLatency() float64 { return e.StartAt - e.QueuedAt }
+
+// Hook is the interposition interface: the profiling library registers
+// one to observe every command without the application changing.
+type Hook interface {
+	// OnEnqueue fires when a command enters the queue.
+	OnEnqueue(kernel string, cfg apu.Config)
+	// OnComplete fires when a command finishes, with its event record.
+	OnComplete(ev *Event)
+}
+
+// CommandQueue is an in-order queue bound to a device configuration.
+// The configuration (device, P-states, threads) plays the role of the
+// device + runtime environment a queue is created against.
+type CommandQueue struct {
+	ctx *Context
+
+	mu      sync.Mutex
+	cfg     apu.Config
+	hooks   []Hook
+	events  []*Event
+	iters   map[string]int
+	profile bool
+	rngFor  func(kernel string, cfgID, iter int) *rand.Rand
+}
+
+// QueueOption configures queue creation.
+type QueueOption func(*CommandQueue)
+
+// WithProfiling enables event profiling (CL_QUEUE_PROFILING_ENABLE).
+func WithProfiling() QueueOption {
+	return func(q *CommandQueue) { q.profile = true }
+}
+
+// WithNoise installs a deterministic per-iteration RNG source for
+// measurement jitter; nil disables noise.
+func WithNoise(f func(kernel string, cfgID, iter int) *rand.Rand) QueueOption {
+	return func(q *CommandQueue) { q.rngFor = f }
+}
+
+// ErrInvalidConfig is returned when a queue is created against an
+// unrealizable configuration.
+var ErrInvalidConfig = errors.New("cl: invalid queue configuration")
+
+// NewQueue creates an in-order command queue on a configuration.
+func (c *Context) NewQueue(cfg apu.Config, opts ...QueueOption) (*CommandQueue, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	q := &CommandQueue{ctx: c, cfg: cfg, iters: map[string]int{}}
+	for _, o := range opts {
+		o(q)
+	}
+	return q, nil
+}
+
+// Config returns the queue's current configuration.
+func (q *CommandQueue) Config() apu.Config {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.cfg
+}
+
+// SetConfig re-targets the queue (the adaptive runtime's re-selection
+// path). Pending semantics are in-order, so the change affects
+// subsequently enqueued commands.
+func (q *CommandQueue) SetConfig(cfg apu.Config) error {
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	q.mu.Lock()
+	q.cfg = cfg
+	q.mu.Unlock()
+	return nil
+}
+
+// AddHook registers an interposition hook.
+func (q *CommandQueue) AddHook(h Hook) {
+	q.mu.Lock()
+	q.hooks = append(q.hooks, h)
+	q.mu.Unlock()
+}
+
+// EnqueueNDRange launches the kernel on the queue's configuration and
+// returns its event. In this virtual-time runtime the command executes
+// eagerly but the event timestamps reflect queue ordering and driver
+// launch latency exactly as an asynchronous runtime would report them.
+func (q *CommandQueue) EnqueueNDRange(k *Kernel) (*Event, error) {
+	q.mu.Lock()
+	cfg := q.cfg
+	iter := q.iters[k.Name]
+	q.iters[k.Name] = iter + 1
+	hooks := append([]Hook(nil), q.hooks...)
+	q.mu.Unlock()
+
+	for _, h := range hooks {
+		h.OnEnqueue(k.Name, cfg)
+	}
+
+	var exec apu.Execution
+	var err error
+	if q.rngFor != nil {
+		exec, err = q.ctx.machine.RunNoisy(k.Workload, cfg, q.rngFor(k.Name, configKey(cfg), iter))
+	} else {
+		exec, err = q.ctx.machine.Run(k.Workload, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	start, end := q.ctx.advance(exec.TimeSec)
+	ev := &Event{
+		Kernel:    k.Name,
+		Config:    cfg,
+		Status:    Complete,
+		QueuedAt:  start,
+		SubmitAt:  start,
+		StartAt:   start + exec.LaunchTimeSec,
+		EndAt:     end,
+		Execution: exec,
+		Iteration: iter,
+	}
+	q.mu.Lock()
+	if q.profile {
+		q.events = append(q.events, ev)
+	}
+	q.mu.Unlock()
+	for _, h := range hooks {
+		h.OnComplete(ev)
+	}
+	return ev, nil
+}
+
+// Finish drains the queue (a no-op in virtual time; commands complete
+// at enqueue) and returns the virtual time, so call sites read like
+// clFinish-then-timestamp code.
+func (q *CommandQueue) Finish() float64 { return q.ctx.Now() }
+
+// Events returns the recorded profiling events (profiling queues only).
+func (q *CommandQueue) Events() []*Event {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]*Event(nil), q.events...)
+}
+
+// configKey derives a small stable integer from a configuration for
+// noise seeding (not a space ID — queues are space-agnostic).
+func configKey(cfg apu.Config) int {
+	k := int(cfg.CPUFreqGHz*100) + cfg.Threads*10000
+	k += int(cfg.GPUFreqGHz * 100000)
+	if cfg.Device == apu.GPUDevice {
+		k += 1 << 24
+	}
+	return k
+}

@@ -1,0 +1,210 @@
+package cl
+
+import (
+	"math"
+	"testing"
+
+	"acsel/internal/apu"
+	"acsel/internal/kernels"
+)
+
+func testKernel(t *testing.T) *Kernel {
+	t.Helper()
+	kk := kernels.Instantiate("LULESH", kernels.Suite()[0].Kernels[0], "Small")
+	k, err := NewKernel(kk.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func gpuCfg() apu.Config {
+	return apu.Config{Device: apu.GPUDevice, CPUFreqGHz: 3.7, Threads: 1, GPUFreqGHz: 0.819}
+}
+
+func TestNewKernelValidates(t *testing.T) {
+	if _, err := NewKernel(apu.Workload{}); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}
+
+func TestNewQueueValidates(t *testing.T) {
+	ctx := NewContext(nil)
+	if _, err := ctx.NewQueue(apu.Config{Device: apu.GPUDevice, Threads: 3}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestEnqueueAdvancesVirtualClock(t *testing.T) {
+	ctx := NewContext(nil)
+	q, err := ctx.NewQueue(gpuCfg(), WithProfiling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKernel(t)
+	before := ctx.Now()
+	ev, err := q.EnqueueNDRange(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Now() <= before {
+		t.Error("clock did not advance")
+	}
+	if ev.Status != Complete {
+		t.Error("event not complete")
+	}
+	if ev.EndAt != ctx.Now() {
+		t.Errorf("event end %v != now %v", ev.EndAt, ctx.Now())
+	}
+	if q.Finish() != ctx.Now() {
+		t.Error("Finish should return the virtual time")
+	}
+}
+
+func TestEventTimestampsOrdered(t *testing.T) {
+	ctx := NewContext(nil)
+	q, _ := ctx.NewQueue(gpuCfg(), WithProfiling())
+	k := testKernel(t)
+	ev, err := q.EnqueueNDRange(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ev.QueuedAt <= ev.SubmitAt && ev.SubmitAt <= ev.StartAt && ev.StartAt < ev.EndAt) {
+		t.Errorf("timestamps out of order: %+v", ev)
+	}
+	if ev.LaunchLatency() <= 0 {
+		t.Errorf("GPU launch latency = %v, want > 0", ev.LaunchLatency())
+	}
+	if math.Abs(ev.Duration()+ev.LaunchLatency()-(ev.EndAt-ev.QueuedAt)) > 1e-12 {
+		t.Error("duration decomposition inconsistent")
+	}
+}
+
+func TestInOrderQueueSequencing(t *testing.T) {
+	ctx := NewContext(nil)
+	q, _ := ctx.NewQueue(gpuCfg(), WithProfiling())
+	k := testKernel(t)
+	var prevEnd float64
+	for i := 0; i < 4; i++ {
+		ev, err := q.EnqueueNDRange(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.QueuedAt < prevEnd {
+			t.Errorf("command %d overlaps predecessor", i)
+		}
+		if ev.Iteration != i {
+			t.Errorf("iteration %d labeled %d", i, ev.Iteration)
+		}
+		prevEnd = ev.EndAt
+	}
+	if len(q.Events()) != 4 {
+		t.Errorf("events = %d", len(q.Events()))
+	}
+}
+
+func TestProfilingDisabledRecordsNothing(t *testing.T) {
+	ctx := NewContext(nil)
+	q, _ := ctx.NewQueue(gpuCfg())
+	if _, err := q.EnqueueNDRange(testKernel(t)); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Events()) != 0 {
+		t.Error("profiling-off queue recorded events")
+	}
+}
+
+type recordingHook struct {
+	enqueues  int
+	completes int
+	lastEvent *Event
+}
+
+func (h *recordingHook) OnEnqueue(string, apu.Config) { h.enqueues++ }
+func (h *recordingHook) OnComplete(ev *Event)         { h.completes++; h.lastEvent = ev }
+
+func TestHooksInterpose(t *testing.T) {
+	ctx := NewContext(nil)
+	q, _ := ctx.NewQueue(gpuCfg())
+	h := &recordingHook{}
+	q.AddHook(h)
+	if _, err := q.EnqueueNDRange(testKernel(t)); err != nil {
+		t.Fatal(err)
+	}
+	if h.enqueues != 1 || h.completes != 1 {
+		t.Errorf("hook calls: %d enqueues, %d completes", h.enqueues, h.completes)
+	}
+	if h.lastEvent == nil || h.lastEvent.Execution.TimeSec <= 0 {
+		t.Error("hook did not receive the execution record")
+	}
+}
+
+func TestSetConfigRetargets(t *testing.T) {
+	ctx := NewContext(nil)
+	q, _ := ctx.NewQueue(gpuCfg(), WithProfiling())
+	k := testKernel(t)
+	ev1, err := q.EnqueueNDRange(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := apu.Config{Device: apu.CPUDevice, CPUFreqGHz: 2.4, Threads: 4, GPUFreqGHz: 0.311}
+	if err := q.SetConfig(cpu); err != nil {
+		t.Fatal(err)
+	}
+	ev2, err := q.EnqueueNDRange(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev1.Config.Device != apu.GPUDevice || ev2.Config.Device != apu.CPUDevice {
+		t.Error("retargeting did not take effect")
+	}
+	if err := q.SetConfig(apu.Config{}); err == nil {
+		t.Error("invalid retarget accepted")
+	}
+}
+
+func TestNoiseSourceDeterministic(t *testing.T) {
+	// The kernels.IterationRNG source must give reproducible events.
+	mk := func() *Event {
+		ctx := NewContext(nil)
+		q, _ := ctx.NewQueue(gpuCfg(), WithNoise(kernels.IterationRNG))
+		ev, err := q.EnqueueNDRange(testKernel(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev
+	}
+	a, b := mk(), mk()
+	if a.Execution.TimeSec != b.Execution.TimeSec {
+		t.Error("noisy enqueue not reproducible")
+	}
+}
+
+func TestCPUQueueHasNoLaunchLatency(t *testing.T) {
+	ctx := NewContext(nil)
+	cpu := apu.Config{Device: apu.CPUDevice, CPUFreqGHz: 3.7, Threads: 4, GPUFreqGHz: 0.311}
+	q, _ := ctx.NewQueue(cpu, WithProfiling())
+	ev, err := q.EnqueueNDRange(testKernel(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.LaunchLatency() != 0 {
+		t.Errorf("CPU launch latency = %v, want 0", ev.LaunchLatency())
+	}
+}
+
+func BenchmarkEnqueue(b *testing.B) {
+	ctx := NewContext(nil)
+	q, _ := ctx.NewQueue(gpuCfg())
+	kk := kernels.Instantiate("LULESH", kernels.Suite()[0].Kernels[0], "Small")
+	k, err := NewKernel(kk.Workload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.EnqueueNDRange(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

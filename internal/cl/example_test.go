@@ -1,0 +1,33 @@
+package cl_test
+
+import (
+	"fmt"
+
+	"acsel/internal/apu"
+	"acsel/internal/cl"
+	"acsel/internal/kernels"
+)
+
+// Enqueueing a kernel on a profiling-enabled queue and reading the
+// OpenCL-style event timestamps.
+func ExampleCommandQueue_EnqueueNDRange() {
+	ctx := cl.NewContext(nil)
+	queue, err := ctx.NewQueue(apu.SampleConfigGPU(), cl.WithProfiling())
+	if err != nil {
+		panic(err)
+	}
+	w := kernels.Instantiate("LU", kernels.Suite()[3].Kernels[0], "Small").Workload
+	k, err := cl.NewKernel(w)
+	if err != nil {
+		panic(err)
+	}
+	ev, err := queue.EnqueueNDRange(k)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("kernel %s on %v\n", ev.Kernel, ev.Config.Device)
+	fmt.Printf("launch latency > 0: %v; events recorded: %d\n", ev.LaunchLatency() > 0, len(queue.Events()))
+	// Output:
+	// kernel lud on GPU
+	// launch latency > 0: true; events recorded: 1
+}

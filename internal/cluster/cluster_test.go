@@ -1,0 +1,356 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// twoBlobs builds a dissimilarity matrix with two obvious groups:
+// items [0,half) and [half,n) with small in-group and large cross-group
+// distances.
+func twoBlobs(n, half int) *DissimilarityMatrix {
+	m := NewDissimilarityMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sameGroup := (i < half) == (j < half)
+			if sameGroup {
+				m.Set(i, j, 0.1)
+			} else {
+				m.Set(i, j, 1.0)
+			}
+		}
+	}
+	return m
+}
+
+func TestPAMTwoBlobs(t *testing.T) {
+	m := twoBlobs(10, 5)
+	res, err := PAM(m, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All of the first five must share a label, all of the last five the other.
+	first := res.Assignments[0]
+	for i := 1; i < 5; i++ {
+		if res.Assignments[i] != first {
+			t.Fatalf("assignments %v: first group split", res.Assignments)
+		}
+	}
+	second := res.Assignments[5]
+	if second == first {
+		t.Fatalf("assignments %v: groups merged", res.Assignments)
+	}
+	for i := 6; i < 10; i++ {
+		if res.Assignments[i] != second {
+			t.Fatalf("assignments %v: second group split", res.Assignments)
+		}
+	}
+}
+
+func TestPAMDeterministic(t *testing.T) {
+	m := twoBlobs(12, 7)
+	a, err := PAM(m, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PAM(m, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatal("PAM not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestPAMKEqualsN(t *testing.T) {
+	m := twoBlobs(4, 2)
+	res, err := PAM(m, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 0 {
+		t.Errorf("k=n cost = %v, want 0", res.Cost)
+	}
+	seen := map[int]bool{}
+	for _, a := range res.Assignments {
+		seen[a] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("k=n should give singleton clusters, got %v", res.Assignments)
+	}
+}
+
+func TestPAMK1(t *testing.T) {
+	m := twoBlobs(6, 3)
+	res, err := PAM(m, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Assignments {
+		if a != 0 {
+			t.Fatal("k=1 must assign everything to cluster 0")
+		}
+	}
+}
+
+func TestPAMBadK(t *testing.T) {
+	m := twoBlobs(4, 2)
+	if _, err := PAM(m, 0, 1); err == nil {
+		t.Fatal("expected ErrBadK for k=0")
+	}
+	if _, err := PAM(m, 5, 1); err == nil {
+		t.Fatal("expected ErrBadK for k>n")
+	}
+}
+
+func TestPAMRejectsAsymmetric(t *testing.T) {
+	m := NewDissimilarityMatrix(3)
+	m.d[0*3+1] = 0.5 // write directly to break symmetry
+	if _, err := PAM(m, 2, 1); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestPAMMedoidsAreMembers(t *testing.T) {
+	m := twoBlobs(10, 5)
+	res, err := PAM(m, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, md := range res.Medoids {
+		if res.Assignments[md] != c {
+			t.Errorf("medoid %d of cluster %d assigned to %d", md, c, res.Assignments[md])
+		}
+	}
+}
+
+func TestSetNegativePanics(t *testing.T) {
+	m := NewDissimilarityMatrix(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dissimilarity")
+		}
+	}()
+	m.Set(0, 1, -0.5)
+}
+
+func TestSilhouetteWellSeparated(t *testing.T) {
+	m := twoBlobs(10, 5)
+	assign := []int{0, 0, 0, 0, 0, 1, 1, 1, 1, 1}
+	s := Silhouette(m, assign)
+	if s < 0.8 {
+		t.Errorf("silhouette = %v, want high for well-separated blobs", s)
+	}
+	// Deliberately bad assignment should score much lower.
+	bad := []int{0, 1, 0, 1, 0, 1, 0, 1, 0, 1}
+	if sb := Silhouette(m, bad); sb >= s {
+		t.Errorf("bad assignment silhouette %v >= good %v", sb, s)
+	}
+}
+
+func TestSilhouetteSingleCluster(t *testing.T) {
+	m := twoBlobs(4, 2)
+	if s := Silhouette(m, []int{0, 0, 0, 0}); s != 0 {
+		t.Errorf("single-cluster silhouette = %v, want 0", s)
+	}
+}
+
+func TestSilhouetteBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(12)
+		m := NewDissimilarityMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				m.Set(i, j, rng.Float64())
+			}
+		}
+		assign := make([]int, n)
+		k := 2 + rng.Intn(3)
+		for i := range assign {
+			assign[i] = rng.Intn(k)
+		}
+		s := Silhouette(m, assign)
+		if s < -1-1e-9 || s > 1+1e-9 || math.IsNaN(s) {
+			t.Fatalf("silhouette out of bounds: %v", s)
+		}
+	}
+}
+
+func TestAgglomerativeTwoBlobs(t *testing.T) {
+	m := twoBlobs(8, 4)
+	res, err := Agglomerative(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 4; i++ {
+		if res.Assignments[i] != res.Assignments[0] {
+			t.Fatalf("assignments %v", res.Assignments)
+		}
+	}
+	if res.Assignments[4] == res.Assignments[0] {
+		t.Fatalf("assignments %v: groups merged", res.Assignments)
+	}
+}
+
+func TestAgglomerativeKEqualsN(t *testing.T) {
+	m := twoBlobs(5, 2)
+	res, err := Agglomerative(m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, a := range res.Assignments {
+		seen[a] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("expected 5 singletons, got %v", res.Assignments)
+	}
+}
+
+func TestAgglomerativeBadK(t *testing.T) {
+	m := twoBlobs(4, 2)
+	if _, err := Agglomerative(m, 0); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestBestKFindsTwoBlobs(t *testing.T) {
+	m := twoBlobs(12, 6)
+	k, s, err := BestK(m, 2, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 2 {
+		t.Errorf("BestK = %d (silhouette %v), want 2", k, s)
+	}
+}
+
+func TestBestKEmptyRange(t *testing.T) {
+	m := twoBlobs(3, 1)
+	if _, _, err := BestK(m, 5, 4, 1); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+// Property: PAM cost never exceeds the cost of assigning everything to
+// a single best medoid (k=1 is the worst case of k>=1 clustering).
+func TestPAMCostMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		n := 8 + rng.Intn(8)
+		m := NewDissimilarityMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				m.Set(i, j, rng.Float64()+0.01)
+			}
+		}
+		prev := math.Inf(1)
+		for k := 1; k <= 4; k++ {
+			res, err := PAM(m, k, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Local-optimum caveat: allow tiny tolerance.
+			if res.Cost > prev+1e-9 {
+				t.Fatalf("trial %d: cost increased from k=%d (%v) to k=%d (%v)", trial, k-1, prev, k, res.Cost)
+			}
+			prev = res.Cost
+		}
+	}
+}
+
+func TestValidateDetectsNaN(t *testing.T) {
+	m := NewDissimilarityMatrix(2)
+	m.d[1] = math.NaN()
+	m.d[2] = math.NaN()
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected NaN detection")
+	}
+}
+
+func BenchmarkPAM36Kernels(b *testing.B) {
+	// Problem size matching the paper: 36 kernels, k=5.
+	rng := rand.New(rand.NewSource(6))
+	m := NewDissimilarityMatrix(36)
+	for i := 0; i < 36; i++ {
+		for j := i + 1; j < 36; j++ {
+			m.Set(i, j, rng.Float64())
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := PAM(m, 5, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property (testing/quick): PAM assignments are always in [0, k) and no
+// cluster is empty (each medoid anchors its own cluster).
+func TestPropertyPAMAssignmentsValid(t *testing.T) {
+	f := func(seed int64, rawN, rawK uint8) bool {
+		n := 4 + int(rawN)%16
+		k := 2 + int(rawK)%3
+		if k > n {
+			k = n
+		}
+		rng := rand.New(rand.NewSource(seed))
+		m := NewDissimilarityMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				m.Set(i, j, rng.Float64())
+			}
+		}
+		res, err := PAM(m, k, 1)
+		if err != nil {
+			return false
+		}
+		sizes := make([]int, k)
+		for _, a := range res.Assignments {
+			if a < 0 || a >= k {
+				return false
+			}
+			sizes[a]++
+		}
+		for _, s := range sizes {
+			if s == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PAM handles duplicate items (zero dissimilarity) without
+// collapsing below k clusters.
+func TestPropertyPAMWithDuplicates(t *testing.T) {
+	n, k := 10, 4
+	m := NewDissimilarityMatrix(n)
+	// All items identical except a pair of mild outliers.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if i >= n-2 || j >= n-2 {
+				m.Set(i, j, 0.9)
+			}
+		}
+	}
+	res, err := PAM(m, k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, a := range res.Assignments {
+		seen[a] = true
+	}
+	if len(seen) != k {
+		t.Fatalf("expected %d non-empty clusters, got %d (%v)", k, len(seen), res.Assignments)
+	}
+}

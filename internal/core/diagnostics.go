@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"acsel/internal/apu"
+)
+
+// ClusterDiagnostics summarizes one cluster's fitted models.
+type ClusterDiagnostics struct {
+	Cluster int
+	Size    int
+	// R² of each regression on its training data.
+	PerfR2CPU  float64
+	PerfR2GPU  float64
+	PowerR2CPU float64
+	PowerR2GPU float64
+	// Residual standard deviations (the uncertainty the variance-aware
+	// selector consumes).
+	PowerStdCPU float64
+	PowerStdGPU float64
+}
+
+// Diagnostics reports the offline stage's fit quality — the numbers a
+// practitioner checks before trusting the model on new kernels.
+type Diagnostics struct {
+	K        int
+	Clusters []ClusterDiagnostics
+	// TreeDepth and TreeLeaves describe the classifier.
+	TreeDepth  int
+	TreeLeaves int
+}
+
+// Diagnose extracts fit diagnostics from a trained model.
+func (m *Model) Diagnose() (Diagnostics, error) {
+	if m.Tree == nil || len(m.Clusters) == 0 {
+		return Diagnostics{}, ErrNoModel
+	}
+	sizes := m.ClusterSizes()
+	d := Diagnostics{K: m.K, TreeDepth: m.Tree.Depth(), TreeLeaves: m.Tree.Leaves()}
+	for c, cm := range m.Clusters {
+		cd := ClusterDiagnostics{Cluster: c}
+		if c < len(sizes) {
+			cd.Size = sizes[c]
+		}
+		if r := cm.PerfByDevice[apu.CPUDevice]; r != nil {
+			cd.PerfR2CPU = r.R2
+		}
+		if r := cm.PerfByDevice[apu.GPUDevice]; r != nil {
+			cd.PerfR2GPU = r.R2
+		}
+		if r := cm.PowerByDevice[apu.CPUDevice]; r != nil {
+			cd.PowerR2CPU = r.R2
+			cd.PowerStdCPU = r.ResidualStd
+		}
+		if r := cm.PowerByDevice[apu.GPUDevice]; r != nil {
+			cd.PowerR2GPU = r.R2
+			cd.PowerStdGPU = r.ResidualStd
+		}
+		d.Clusters = append(d.Clusters, cd)
+	}
+	return d, nil
+}
+
+// ReportDiagnostics renders the diagnostics as a table.
+func (m *Model) ReportDiagnostics() (string, error) {
+	d, err := m.Diagnose()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "model diagnostics: k=%d, classifier depth %d (%d leaves)\n", d.K, d.TreeDepth, d.TreeLeaves)
+	fmt.Fprintf(&b, "%-8s %-5s %-22s %-22s %-20s\n", "cluster", "size", "perf R² (cpu/gpu)", "power R² (cpu/gpu)", "power σ W (cpu/gpu)")
+	sort.Slice(d.Clusters, func(i, j int) bool { return d.Clusters[i].Cluster < d.Clusters[j].Cluster })
+	for _, c := range d.Clusters {
+		fmt.Fprintf(&b, "%-8d %-5d %-22s %-22s %-20s\n",
+			c.Cluster, c.Size,
+			fmt.Sprintf("%.3f / %.3f", c.PerfR2CPU, c.PerfR2GPU),
+			fmt.Sprintf("%.3f / %.3f", c.PowerR2CPU, c.PowerR2GPU),
+			fmt.Sprintf("%.2f / %.2f", c.PowerStdCPU, c.PowerStdGPU))
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"acsel/internal/apu"
+	"acsel/internal/counters"
+	"acsel/internal/pareto"
+	"acsel/internal/profiler"
+	"acsel/internal/stats"
+	"acsel/internal/tree"
+)
+
+func counterNames() []string { return counters.Names() }
+
+// ClusterModel holds one cluster's fitted regressions: a
+// performance-scaling model and a power model per device.
+type ClusterModel struct {
+	PerfByDevice  map[apu.Device]*stats.Regression
+	PowerByDevice map[apu.Device]*stats.Regression
+}
+
+// Model is the trained offline model: cluster regressions plus the
+// classification tree that assigns new kernels to clusters.
+type Model struct {
+	K        int
+	Space    *apu.Space
+	Clusters []ClusterModel
+	Tree     *tree.Tree
+	// Assignments records the training kernels' cluster memberships.
+	Assignments map[string]int
+	// Options echoes the training configuration.
+	Options TrainOptions
+}
+
+// SampleRuns carries the two online sample-configuration measurements
+// of a new kernel: its first iteration on each device (Table II).
+type SampleRuns struct {
+	CPU profiler.Sample
+	GPU profiler.Sample
+}
+
+// ClassifierFeatures builds the classification-tree input from the two
+// sample runs: the CPU run's normalized counter metrics, both runs'
+// package power, and the GPU:CPU performance ratio — everything
+// observable after the kernel's first two iterations.
+func ClassifierFeatures(cpu, gpu profiler.Sample) []float64 {
+	f := cpu.Counters.Normalize().Vector()
+	f = append(f, cpu.TotalPowerW(), gpu.TotalPowerW(), gpu.Perf()/cpu.Perf())
+	return f
+}
+
+// ClassifierFeatureNames labels ClassifierFeatures entries.
+func ClassifierFeatureNames() []string {
+	names := append([]string(nil), counterNames()...)
+	return append(names, "cpu_sample_power_w", "gpu_sample_power_w", "gpu_cpu_perf_ratio")
+}
+
+// Prediction is the model's estimate for one configuration.
+type Prediction struct {
+	ConfigID int
+	Config   apu.Config
+	Perf     float64 // predicted throughput (1/s)
+	PowerW   float64 // predicted package power
+	// PerfStd and PowerStd are residual-based uncertainty estimates,
+	// used by the variance-aware selection extension (§VI).
+	PerfStd  float64
+	PowerStd float64
+}
+
+// ErrNoModel is returned when the model lacks a required component.
+var ErrNoModel = errors.New("core: model component missing")
+
+// Classify assigns a new kernel to a cluster from its sample runs.
+// Its cost is O(tree depth), matching §IV-C.
+func (m *Model) Classify(sr SampleRuns) (int, error) {
+	if m.Tree == nil {
+		return 0, fmt.Errorf("%w: classifier", ErrNoModel)
+	}
+	return m.Tree.Classify(ClassifierFeatures(sr.CPU, sr.GPU))
+}
+
+// minPredictedPerfFrac floors predicted performance at this fraction of
+// the device's sample performance; linear extrapolation can otherwise
+// go non-positive at space corners.
+const minPredictedPerfFrac = 1e-3
+
+// minPredictedPowerW floors predicted power; no configuration of the
+// machine idles below a few watts.
+const minPredictedPowerW = 3.0
+
+// PredictAll predicts power and performance for every configuration in
+// the space for a new kernel, given its sample runs. The per-device
+// sample performance anchors the scaling model; power comes directly
+// from the cluster's power regression.
+func (m *Model) PredictAll(sr SampleRuns) ([]Prediction, int, error) {
+	c, err := m.Classify(sr)
+	if err != nil {
+		return nil, 0, err
+	}
+	if c < 0 || c >= len(m.Clusters) {
+		return nil, 0, fmt.Errorf("core: classifier produced cluster %d of %d", c, len(m.Clusters))
+	}
+	cm := m.Clusters[c]
+	samplePerf := map[apu.Device]float64{
+		apu.CPUDevice: sr.CPU.Perf(),
+		apu.GPUDevice: sr.GPU.Perf(),
+	}
+	out := make([]Prediction, m.Space.Len())
+	for id, cfg := range m.Space.Configs {
+		perfReg := cm.PerfByDevice[cfg.Device]
+		powReg := cm.PowerByDevice[cfg.Device]
+		if perfReg == nil || powReg == nil {
+			return nil, 0, fmt.Errorf("%w: cluster %d device %v", ErrNoModel, c, cfg.Device)
+		}
+		feats := cfg.Features()
+		scale, scaleStd, err := perfReg.PredictWithStd(feats)
+		if err != nil {
+			return nil, 0, err
+		}
+		ref := samplePerf[cfg.Device]
+		perf := scale * ref
+		if min := ref * minPredictedPerfFrac; perf < min {
+			perf = min
+		}
+		pow, powStd, err := powReg.PredictWithStd(feats)
+		if err != nil {
+			return nil, 0, err
+		}
+		if pow < minPredictedPowerW {
+			pow = minPredictedPowerW
+		}
+		out[id] = Prediction{
+			ConfigID: id,
+			Config:   cfg,
+			Perf:     perf,
+			PowerW:   pow,
+			PerfStd:  scaleStd * ref,
+			PowerStd: powStd,
+		}
+	}
+	return out, c, nil
+}
+
+// PredictedFrontier derives the predicted Pareto frontier for a new
+// kernel (§III-C): the object a scheduler consults as power constraints
+// change, without re-examining every configuration.
+func (m *Model) PredictedFrontier(sr SampleRuns) (*pareto.Frontier, []Prediction, error) {
+	preds, _, err := m.PredictAll(sr)
+	if err != nil {
+		return nil, nil, err
+	}
+	pts := make([]pareto.Point, len(preds))
+	for i, p := range preds {
+		pts[i] = pareto.Point{ID: p.ConfigID, Power: p.PowerW, Perf: p.Perf}
+	}
+	return pareto.New(pts), preds, nil
+}
+
+// Selection is the outcome of an online configuration choice.
+type Selection struct {
+	ConfigID  int
+	Config    apu.Config
+	Predicted Prediction
+	// MeetsCapPredicted reports whether the predicted power respects
+	// the cap (false when the model had to fall back to the
+	// minimum-predicted-power configuration).
+	MeetsCapPredicted bool
+	Cluster           int
+}
+
+// SelectUnderCap picks the configuration predicted to maximize
+// performance within capW. When no configuration is predicted to fit,
+// it falls back to the minimum-predicted-power configuration, mirroring
+// the oracle's fallback so comparisons stay aligned.
+func (m *Model) SelectUnderCap(sr SampleRuns, capW float64) (Selection, error) {
+	return m.selectUnderCap(sr, capW, 0)
+}
+
+// SelectUnderCapVarAware is the variance-aware extension (§VI): it
+// requires predicted power plus z·σ to fit under the cap, trading
+// expected performance for confidence.
+func (m *Model) SelectUnderCapVarAware(sr SampleRuns, capW, z float64) (Selection, error) {
+	if z < 0 {
+		return Selection{}, errors.New("core: negative z")
+	}
+	return m.selectUnderCap(sr, capW, z)
+}
+
+func (m *Model) selectUnderCap(sr SampleRuns, capW, z float64) (Selection, error) {
+	preds, c, err := m.PredictAll(sr)
+	if err != nil {
+		return Selection{}, err
+	}
+	bestID, fallbackID := -1, -1
+	bestPerf := math.Inf(-1)
+	minPow := math.Inf(1)
+	for _, p := range preds {
+		bound := p.PowerW + z*p.PowerStd
+		if bound <= capW && p.Perf > bestPerf {
+			bestPerf = p.Perf
+			bestID = p.ConfigID
+		}
+		if p.PowerW < minPow {
+			minPow = p.PowerW
+			fallbackID = p.ConfigID
+		}
+	}
+	sel := Selection{Cluster: c}
+	if bestID >= 0 {
+		sel.ConfigID = bestID
+		sel.MeetsCapPredicted = true
+	} else {
+		sel.ConfigID = fallbackID
+	}
+	sel.Config = m.Space.Configs[sel.ConfigID]
+	sel.Predicted = preds[sel.ConfigID]
+	return sel, nil
+}
+
+// RenderTree returns the classification tree in the indented format of
+// the paper's Figure 3.
+func (m *Model) RenderTree() string {
+	if m.Tree == nil {
+		return "<no classifier>"
+	}
+	return m.Tree.Render()
+}
+
+// ClusterSizes returns the number of training kernels per cluster.
+func (m *Model) ClusterSizes() []int {
+	sizes := make([]int, m.K)
+	for _, c := range m.Assignments {
+		if c >= 0 && c < m.K {
+			sizes[c]++
+		}
+	}
+	return sizes
+}

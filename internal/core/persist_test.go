@@ -1,0 +1,83 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	profs, m, _ := trained(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.K != m.K || len(m2.Clusters) != len(m.Clusters) {
+		t.Fatalf("shape lost: k=%d clusters=%d", m2.K, len(m2.Clusters))
+	}
+	// Loaded model must make identical predictions and classifications.
+	for _, kp := range profs[:6] {
+		sr := SampleRuns{CPU: kp.CPUSample, GPU: kp.GPUSample}
+		c1, err := m.Classify(sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := m2.Classify(sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c1 != c2 {
+			t.Fatalf("%s: classification differs after reload (%d vs %d)", kp.KernelID, c1, c2)
+		}
+		p1, _, err := m.PredictAll(sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, _, err := m2.PredictAll(sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range p1 {
+			if p1[i].Perf != p2[i].Perf || p1[i].PowerW != p2[i].PowerW {
+				t.Fatalf("%s config %d: predictions differ after reload", kp.KernelID, i)
+			}
+		}
+	}
+}
+
+func TestSaveUntrainedModelFails(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Model{}).Save(&buf); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("{")); err == nil {
+		t.Fatal("expected decode error")
+	}
+	if _, err := Load(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Fatal("expected version error")
+	}
+	if _, err := Load(strings.NewReader(`{"version": 1, "space_len": 7}`)); err == nil {
+		t.Fatal("expected space mismatch error")
+	}
+}
+
+func TestLoadRejectsMissingPieces(t *testing.T) {
+	_, m, _ := trained(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: drop the tree.
+	s := buf.String()
+	s = strings.Replace(s, `"tree"`, `"tree_gone"`, 1)
+	if _, err := Load(strings.NewReader(s)); err == nil {
+		t.Fatal("expected missing-classifier error")
+	}
+}

@@ -1,0 +1,108 @@
+// Package core implements the paper's contribution: the two-stage
+// power/performance model for adaptive configuration selection.
+//
+// Offline (once per machine): profile a training set of kernels at
+// every configuration; derive per-kernel power–performance Pareto
+// frontiers; compute a Kendall-tau dissimilarity matrix over frontier
+// orderings; cluster kernels (PAM, k=5); fit per-cluster, per-device
+// linear regressions for performance scaling and power; and train a
+// classification tree that maps sample-configuration signatures to
+// clusters.
+//
+// Online (per new kernel): run the first two iterations on the two
+// sample configurations (Table II), classify into a cluster, predict
+// power and performance for every configuration, derive the predicted
+// Pareto frontier, and select a configuration under the power cap.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"acsel/internal/apu"
+	"acsel/internal/pareto"
+	"acsel/internal/profiler"
+)
+
+// ConfigStats aggregates a kernel's measured behaviour at one
+// configuration over profiling iterations.
+type ConfigStats struct {
+	ConfigID  int
+	MeanTime  float64
+	MeanPerf  float64
+	MeanPower float64 // package (both domains)
+	MeanCPUW  float64
+	MeanNBW   float64
+}
+
+// KernelProfile is the complete offline characterization of one kernel:
+// per-configuration statistics, the derived Pareto frontier, and the
+// two sample-configuration runs used for classification.
+type KernelProfile struct {
+	KernelID  string
+	Benchmark string
+	Input     string
+	Name      string
+	TimeShare float64
+
+	// Stats is indexed by configuration ID.
+	Stats []ConfigStats
+	// Frontier is the measured power–performance Pareto frontier.
+	Frontier *pareto.Frontier
+	// CPUSample and GPUSample are single-iteration runs at the sample
+	// configurations — exactly the information available online.
+	CPUSample profiler.Sample
+	GPUSample profiler.Sample
+}
+
+// SamplePerf returns the measured sample-configuration performance on a
+// device, the scaling reference S_perf of the performance model.
+func (kp *KernelProfile) SamplePerf(d apu.Device) float64 {
+	if d == apu.CPUDevice {
+		return kp.CPUSample.Perf()
+	}
+	return kp.GPUSample.Perf()
+}
+
+// BestPerf returns the maximum measured performance across all
+// configurations (the oracle's normalization reference).
+func (kp *KernelProfile) BestPerf() float64 {
+	best := math.Inf(-1)
+	for _, s := range kp.Stats {
+		if s.MeanPerf > best {
+			best = s.MeanPerf
+		}
+	}
+	return best
+}
+
+// buildFrontier derives the Pareto frontier from the per-config stats.
+func (kp *KernelProfile) buildFrontier() {
+	pts := make([]pareto.Point, len(kp.Stats))
+	for i, s := range kp.Stats {
+		pts[i] = pareto.Point{ID: s.ConfigID, Power: s.MeanPower, Perf: s.MeanPerf}
+	}
+	kp.Frontier = pareto.New(pts)
+}
+
+// Validate checks internal consistency.
+func (kp *KernelProfile) Validate(space *apu.Space) error {
+	if len(kp.Stats) != space.Len() {
+		return fmt.Errorf("core: profile %s has %d config stats, want %d", kp.KernelID, len(kp.Stats), space.Len())
+	}
+	for i, s := range kp.Stats {
+		if s.ConfigID != i {
+			return fmt.Errorf("core: profile %s stats misordered at %d", kp.KernelID, i)
+		}
+		if s.MeanTime <= 0 || s.MeanPower <= 0 {
+			return fmt.Errorf("core: profile %s config %d has non-positive measurements", kp.KernelID, i)
+		}
+	}
+	if kp.Frontier == nil || kp.Frontier.Len() == 0 {
+		return fmt.Errorf("core: profile %s has no frontier", kp.KernelID)
+	}
+	if kp.CPUSample.TimeSec <= 0 || kp.GPUSample.TimeSec <= 0 {
+		return fmt.Errorf("core: profile %s missing sample runs", kp.KernelID)
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"acsel/internal/apu"
+	"acsel/internal/cluster"
+	"acsel/internal/kernels"
+	"acsel/internal/pareto"
+	"acsel/internal/profiler"
+	"acsel/internal/stats"
+	"acsel/internal/tree"
+)
+
+// TrainOptions configures the offline stage.
+type TrainOptions struct {
+	// K is the cluster count; the paper found k=5 optimal empirically.
+	K int
+	// Iterations is how many profiling iterations are averaged per
+	// (kernel, configuration) pair during characterization.
+	Iterations int
+	// LogTargets applies the variance-stabilizing log transform to
+	// regression targets (paper §VI, future work).
+	LogTargets bool
+	// TreeMaxDepth and TreeMinLeaf control the classification tree.
+	TreeMaxDepth int
+	TreeMinLeaf  int
+	// Seed feeds the clustering tie-breaker.
+	Seed int64
+}
+
+// DefaultTrainOptions mirrors the paper's settings.
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{K: 5, Iterations: 3, TreeMaxDepth: 5, TreeMinLeaf: 2, Seed: 1}
+}
+
+// Characterize profiles every kernel at every configuration of the
+// profiler's space, averaging over opts.Iterations, and records the two
+// sample-configuration runs. Kernels are profiled concurrently; results
+// are deterministic regardless of scheduling.
+func Characterize(p *profiler.Profiler, ks []kernels.Kernel, opts TrainOptions) ([]*KernelProfile, error) {
+	if opts.Iterations <= 0 {
+		opts.Iterations = 1
+	}
+	profiles := make([]*KernelProfile, len(ks))
+	errs := make([]error, len(ks))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, k := range ks {
+		wg.Add(1)
+		go func(i int, k kernels.Kernel) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			profiles[i], errs[i] = characterizeOne(p, k, opts)
+		}(i, k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return profiles, nil
+}
+
+func characterizeOne(p *profiler.Profiler, k kernels.Kernel, opts TrainOptions) (*KernelProfile, error) {
+	kp := &KernelProfile{
+		KernelID:  k.ID(),
+		Benchmark: k.Benchmark,
+		Input:     k.Input,
+		Name:      k.Name,
+		TimeShare: k.TimeShare,
+		Stats:     make([]ConfigStats, p.Space.Len()),
+	}
+	for id := 0; id < p.Space.Len(); id++ {
+		var t, pw, cw, nw float64
+		for it := 0; it < opts.Iterations; it++ {
+			s, err := p.Run(k, id, it)
+			if err != nil {
+				return nil, err
+			}
+			t += s.TimeSec
+			pw += s.TotalPowerW()
+			cw += s.CPUPowerW
+			nw += s.NBGPUW
+		}
+		n := float64(opts.Iterations)
+		kp.Stats[id] = ConfigStats{
+			ConfigID:  id,
+			MeanTime:  t / n,
+			MeanPerf:  n / t,
+			MeanPower: pw / n,
+			MeanCPUW:  cw / n,
+			MeanNBW:   nw / n,
+		}
+	}
+	kp.buildFrontier()
+	var err error
+	// The sample runs replay the first two iterations the online stage
+	// would observe: one on each device's sample configuration.
+	kp.CPUSample, err = p.RunConfig(k, apu.SampleConfigCPU(), 0)
+	if err != nil {
+		return nil, err
+	}
+	kp.GPUSample, err = p.RunConfig(k, apu.SampleConfigGPU(), 1)
+	if err != nil {
+		return nil, err
+	}
+	return kp, nil
+}
+
+// DissimilarityMatrix builds the kernel dissimilarity matrix from
+// pairwise comparison of Pareto frontiers (§III-B): the Kendall rank
+// correlation of the shared configurations' orderings, weighted by how
+// much of the two frontiers is shared at all. The paper's insight is
+// that similar kernels "have the same configurations on their
+// respective frontiers, arranged in the same order" — membership and
+// order both carry signal, so similarity is (τ+1)/2 · Jaccard and
+// dissimilarity its complement. Pairs sharing fewer than two frontier
+// configurations get the maximum dissimilarity of 1.
+func DissimilarityMatrix(profiles []*KernelProfile) *cluster.DissimilarityMatrix {
+	n := len(profiles)
+	m := cluster.NewDissimilarityMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ra, rb, shared := pareto.SharedOrder(profiles[i].Frontier, profiles[j].Frontier)
+			if len(ra) < 2 {
+				m.Set(i, j, 1)
+				continue
+			}
+			tau, err := stats.KendallTauRanks(ra, rb)
+			if err != nil {
+				m.Set(i, j, 1)
+				continue
+			}
+			union := profiles[i].Frontier.Len() + profiles[j].Frontier.Len() - len(shared)
+			jaccard := float64(len(shared)) / float64(union)
+			similarity := (tau + 1) / 2 * jaccard
+			m.Set(i, j, 1-similarity)
+		}
+	}
+	return m
+}
+
+// ErrTooFewKernels is returned when training lacks enough kernels for
+// the requested cluster count.
+var ErrTooFewKernels = errors.New("core: too few training kernels")
+
+// Train runs the complete offline stage on characterized profiles and
+// returns the fitted model.
+func Train(space *apu.Space, profiles []*KernelProfile, opts TrainOptions) (*Model, error) {
+	if opts.K <= 0 {
+		opts.K = 5
+	}
+	if opts.TreeMaxDepth <= 0 {
+		opts.TreeMaxDepth = 5
+	}
+	if opts.TreeMinLeaf <= 0 {
+		opts.TreeMinLeaf = 2
+	}
+	if len(profiles) < opts.K {
+		return nil, fmt.Errorf("%w: %d kernels for k=%d", ErrTooFewKernels, len(profiles), opts.K)
+	}
+	for _, kp := range profiles {
+		if err := kp.Validate(space); err != nil {
+			return nil, err
+		}
+	}
+
+	// 1. Relational clustering on frontier-order dissimilarity.
+	dis := DissimilarityMatrix(profiles)
+	clu, err := cluster.PAM(dis, opts.K, opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: clustering: %w", err)
+	}
+
+	m := &Model{
+		K:           opts.K,
+		Space:       space,
+		Clusters:    make([]ClusterModel, opts.K),
+		Assignments: make(map[string]int, len(profiles)),
+		Options:     opts,
+	}
+	for i, kp := range profiles {
+		m.Assignments[kp.KernelID] = clu.Assignments[i]
+	}
+
+	// 2. Per-cluster, per-device regressions.
+	for c := 0; c < opts.K; c++ {
+		var members []*KernelProfile
+		for i, kp := range profiles {
+			if clu.Assignments[i] == c {
+				members = append(members, kp)
+			}
+		}
+		cm, err := fitClusterModels(space, members, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: cluster %d: %w", c, err)
+		}
+		m.Clusters[c] = cm
+	}
+
+	// 3. Classification tree on sample-configuration signatures.
+	var X [][]float64
+	var y []int
+	for i, kp := range profiles {
+		X = append(X, ClassifierFeatures(kp.CPUSample, kp.GPUSample))
+		y = append(y, clu.Assignments[i])
+	}
+	tr, err := tree.Train(X, y, tree.Options{
+		MaxDepth:     opts.TreeMaxDepth,
+		MinLeaf:      opts.TreeMinLeaf,
+		FeatureNames: ClassifierFeatureNames(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: classifier: %w", err)
+	}
+	m.Tree = tr
+	return m, nil
+}
+
+// fitClusterModels fits the four regressions of one cluster: a
+// performance-scaling model and a power model per device.
+func fitClusterModels(space *apu.Space, members []*KernelProfile, opts TrainOptions) (ClusterModel, error) {
+	cm := ClusterModel{
+		PerfByDevice:  map[apu.Device]*stats.Regression{},
+		PowerByDevice: map[apu.Device]*stats.Regression{},
+	}
+	if len(members) == 0 {
+		return cm, errors.New("empty cluster")
+	}
+	for _, dev := range []apu.Device{apu.CPUDevice, apu.GPUDevice} {
+		var perfX, powX [][]float64
+		var perfY, powY []float64
+		for _, kp := range members {
+			ref := kp.SamplePerf(dev)
+			if ref <= 0 {
+				continue
+			}
+			for _, id := range space.DeviceConfigs(dev) {
+				cfg := space.Configs[id]
+				st := kp.Stats[id]
+				perfX = append(perfX, cfg.Features())
+				perfY = append(perfY, st.MeanPerf/ref)
+				powX = append(powX, cfg.Features())
+				powY = append(powY, st.MeanPower)
+			}
+		}
+		// Performance model: pure scaling, no intercept (§III-B:
+		// P_perf = (Σ aᵢxᵢ)·S_perf). Power model: intercept included
+		// (P_power = b₀ + Σ bᵢxᵢ).
+		perfReg, err := stats.FitRegression(perfX, perfY, stats.RegressionOptions{
+			Interactions: true, LogTarget: false,
+		})
+		if err != nil {
+			return cm, fmt.Errorf("perf model (%v): %w", dev, err)
+		}
+		powOpts := stats.RegressionOptions{Intercept: true, Interactions: true, LogTarget: opts.LogTargets}
+		powReg, err := stats.FitRegression(powX, powY, powOpts)
+		if err != nil {
+			return cm, fmt.Errorf("power model (%v): %w", dev, err)
+		}
+		cm.PerfByDevice[dev] = perfReg
+		cm.PowerByDevice[dev] = powReg
+	}
+	return cm, nil
+}

@@ -1,0 +1,181 @@
+// Package counters models the hardware performance-counter path the
+// paper reads through PAPI and the northbridge PMU (§III-B): L1/L2
+// data-cache misses, TLB misses, conditional branches, vector
+// instructions, stalled/total/reference core cycles, idle FPU cycles,
+// interrupts, and DRAM accesses. Counts derive from the same workload
+// characteristics that drive the timing model, so the statistical
+// relationship the classifier learns (counter signature → scaling
+// cluster) exists in the synthetic data exactly as it does on hardware.
+package counters
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"acsel/internal/apu"
+)
+
+// Set is the raw counter readout for one kernel execution.
+type Set struct {
+	Instructions  float64
+	L1DMisses     float64
+	L2DMisses     float64
+	TLBMisses     float64
+	CondBranches  float64
+	VectorInstr   float64
+	StalledCycles float64
+	CoreCycles    float64
+	RefCycles     float64
+	IdleFPUCycles float64
+	Interrupts    float64
+	DRAMAccesses  float64
+}
+
+// RefClockGHz is the reference (unhalted) clock counted by RefCycles.
+const RefClockGHz = 0.1
+
+// memOpFrac is the fraction of dynamic instructions that access memory.
+const memOpFrac = 0.35
+
+// interruptRateHz is the background interrupt rate attributed to each
+// kernel (timer ticks plus the 1 kHz power-sampling interrupt).
+const interruptRateHz = 1250
+
+// CacheLineBytes is the DRAM access granularity.
+const CacheLineBytes = 64
+
+// Derive computes the counter readout for executing workload w under
+// configuration e.Config with outcome e. For GPU configurations the CPU
+// counters reflect the host driver thread (the OpenCL runtime and
+// kernel-launch path), while DRAM accesses reflect the GPU's traffic
+// through the shared memory controller.
+func Derive(w apu.Workload, e apu.Execution) Set {
+	cfg := e.Config
+	var s Set
+	switch cfg.Device {
+	case apu.CPUDevice:
+		instr := w.FLOPs * w.InstrPerFlop
+		memOps := instr * memOpFrac
+		s.Instructions = instr
+		s.L1DMisses = memOps * w.L1MissRate
+		s.L2DMisses = s.L1DMisses * w.L2MissRate
+		s.TLBMisses = memOps * w.TLBMissRate
+		s.CondBranches = instr * w.BranchFrac
+		s.VectorInstr = instr * w.VecFrac
+		active := float64(cfg.Threads)
+		s.CoreCycles = e.TimeSec * cfg.CPUFreqGHz * 1e9 * active
+		s.RefCycles = e.TimeSec * RefClockGHz * 1e9 * active
+		s.StalledCycles = s.CoreCycles * e.StallFrac
+		fpuBusy := w.VecFrac * (1 - e.StallFrac)
+		s.IdleFPUCycles = s.CoreCycles * (1 - fpuBusy)
+		s.DRAMAccesses = w.Bytes / CacheLineBytes
+	default: // GPU
+		// Host-side work: driver and runtime cycles at modest IPC.
+		instr := w.LaunchCycles * 0.8
+		s.Instructions = instr
+		s.L1DMisses = instr * memOpFrac * 0.01
+		s.L2DMisses = s.L1DMisses * 0.2
+		s.TLBMisses = instr * memOpFrac * 0.0005
+		s.CondBranches = instr * 0.2 // driver code is branchy
+		s.VectorInstr = 0
+		s.CoreCycles = e.TimeSec * cfg.CPUFreqGHz * 1e9 // one host thread
+		s.RefCycles = e.TimeSec * RefClockGHz * 1e9
+		// The host spends most of the kernel duration waiting.
+		busy := e.LaunchTimeSec / e.TimeSec
+		s.StalledCycles = s.CoreCycles * (1 - busy)
+		s.IdleFPUCycles = s.CoreCycles * 0.99
+		s.DRAMAccesses = w.Bytes * w.GPUBytesFactor / CacheLineBytes
+	}
+	s.Interrupts = e.TimeSec * interruptRateHz
+	return s
+}
+
+// Noisy returns a copy of s with multiplicative jitter applied to every
+// counter, modeling sampling skid and multiplexing error.
+func (s Set) Noisy(rng *rand.Rand, rel float64) Set {
+	j := func(v float64) float64 {
+		if v == 0 || rel <= 0 {
+			return v
+		}
+		return v * math.Exp(rng.NormFloat64()*rel-rel*rel/2)
+	}
+	return Set{
+		Instructions:  j(s.Instructions),
+		L1DMisses:     j(s.L1DMisses),
+		L2DMisses:     j(s.L2DMisses),
+		TLBMisses:     j(s.TLBMisses),
+		CondBranches:  j(s.CondBranches),
+		VectorInstr:   j(s.VectorInstr),
+		StalledCycles: j(s.StalledCycles),
+		CoreCycles:    j(s.CoreCycles),
+		RefCycles:     j(s.RefCycles),
+		IdleFPUCycles: j(s.IdleFPUCycles),
+		Interrupts:    j(s.Interrupts),
+		DRAMAccesses:  j(s.DRAMAccesses),
+	}
+}
+
+// Normalized is the counter set scaled per-instruction, per-core-cycle,
+// and per-reference-cycle as the paper prescribes ("All such counts are
+// normalized to one or more of core cycles, reference cycles, and
+// instructions"). These are the classifier inputs.
+type Normalized struct {
+	IPC            float64 // instructions per core cycle
+	L1PerInstr     float64
+	L2PerInstr     float64
+	TLBPerInstr    float64
+	BranchPerInstr float64
+	VecPerInstr    float64
+	StallPerCycle  float64
+	IdleFPUFrac    float64
+	DRAMPerRefCyc  float64
+	IntPerRefCyc   float64
+}
+
+// Normalize computes the normalized metrics. Zero denominators yield
+// zero metrics rather than NaN.
+func (s Set) Normalize() Normalized {
+	div := func(a, b float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	}
+	return Normalized{
+		IPC:            div(s.Instructions, s.CoreCycles),
+		L1PerInstr:     div(s.L1DMisses, s.Instructions),
+		L2PerInstr:     div(s.L2DMisses, s.Instructions),
+		TLBPerInstr:    div(s.TLBMisses, s.Instructions),
+		BranchPerInstr: div(s.CondBranches, s.Instructions),
+		VecPerInstr:    div(s.VectorInstr, s.Instructions),
+		StallPerCycle:  div(s.StalledCycles, s.CoreCycles),
+		IdleFPUFrac:    div(s.IdleFPUCycles, s.CoreCycles),
+		DRAMPerRefCyc:  div(s.DRAMAccesses, s.RefCycles),
+		IntPerRefCyc:   div(s.Interrupts, s.RefCycles),
+	}
+}
+
+// Vector flattens the normalized metrics in a stable order for model
+// input; Names labels the same order.
+func (n Normalized) Vector() []float64 {
+	return []float64{
+		n.IPC, n.L1PerInstr, n.L2PerInstr, n.TLBPerInstr, n.BranchPerInstr,
+		n.VecPerInstr, n.StallPerCycle, n.IdleFPUFrac, n.DRAMPerRefCyc, n.IntPerRefCyc,
+	}
+}
+
+// Names returns labels parallel to Vector.
+func Names() []string {
+	return []string{
+		"ipc", "l1_per_instr", "l2_per_instr", "tlb_per_instr", "branch_per_instr",
+		"vec_per_instr", "stall_per_cycle", "idle_fpu_frac", "dram_per_refcyc", "int_per_refcyc",
+	}
+}
+
+// String renders the raw counters for dumps.
+func (s Set) String() string {
+	return fmt.Sprintf("instr=%.3g l1=%.3g l2=%.3g tlb=%.3g br=%.3g vec=%.3g stall=%.3g cyc=%.3g ref=%.3g fpu_idle=%.3g irq=%.3g dram=%.3g",
+		s.Instructions, s.L1DMisses, s.L2DMisses, s.TLBMisses, s.CondBranches, s.VectorInstr,
+		s.StalledCycles, s.CoreCycles, s.RefCycles, s.IdleFPUCycles, s.Interrupts, s.DRAMAccesses)
+}

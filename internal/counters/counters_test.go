@@ -1,0 +1,193 @@
+package counters
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"acsel/internal/apu"
+)
+
+func testWorkload() apu.Workload {
+	return apu.Workload{
+		Name:           "k",
+		FLOPs:          2e8,
+		Bytes:          5e7,
+		ParFrac:        0.95,
+		VecFrac:        0.5,
+		BranchFrac:     0.08,
+		GPUAffinity:    0.25,
+		GPUBytesFactor: 1.2,
+		LaunchCycles:   3e6,
+		L1MissRate:     0.03,
+		L2MissRate:     0.3,
+		TLBMissRate:    0.002,
+		InstrPerFlop:   1.6,
+	}
+}
+
+func runOn(t *testing.T, cfg apu.Config) (apu.Workload, apu.Execution) {
+	t.Helper()
+	w := testWorkload()
+	e, err := apu.DefaultMachine().Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, e
+}
+
+func TestDeriveCPUBasics(t *testing.T) {
+	w, e := runOn(t, apu.Config{Device: apu.CPUDevice, CPUFreqGHz: 2.4, Threads: 4, GPUFreqGHz: 0.311})
+	s := Derive(w, e)
+	if s.Instructions != w.FLOPs*w.InstrPerFlop {
+		t.Errorf("Instructions = %v", s.Instructions)
+	}
+	if s.VectorInstr != s.Instructions*w.VecFrac {
+		t.Errorf("VectorInstr = %v", s.VectorInstr)
+	}
+	if s.CondBranches != s.Instructions*w.BranchFrac {
+		t.Errorf("CondBranches = %v", s.CondBranches)
+	}
+	if s.L2DMisses >= s.L1DMisses {
+		t.Errorf("L2 misses (%v) should be below L1 misses (%v)", s.L2DMisses, s.L1DMisses)
+	}
+	if s.DRAMAccesses != w.Bytes/CacheLineBytes {
+		t.Errorf("DRAMAccesses = %v", s.DRAMAccesses)
+	}
+	wantCyc := e.TimeSec * 2.4e9 * 4
+	if math.Abs(s.CoreCycles-wantCyc) > 1e-6*wantCyc {
+		t.Errorf("CoreCycles = %v, want %v", s.CoreCycles, wantCyc)
+	}
+	if s.StalledCycles > s.CoreCycles {
+		t.Error("stalled cycles exceed total cycles")
+	}
+	if s.IdleFPUCycles > s.CoreCycles {
+		t.Error("idle FPU cycles exceed total cycles")
+	}
+}
+
+func TestDeriveGPUReflectsHost(t *testing.T) {
+	w, e := runOn(t, apu.Config{Device: apu.GPUDevice, CPUFreqGHz: 3.7, Threads: 1, GPUFreqGHz: 0.819})
+	s := Derive(w, e)
+	// Host-side instruction stream is the driver, far smaller than the
+	// kernel's own flop-derived stream.
+	if s.Instructions >= w.FLOPs {
+		t.Errorf("GPU host instructions = %v, want << FLOPs", s.Instructions)
+	}
+	if s.VectorInstr != 0 {
+		t.Errorf("driver thread should issue no vector instructions, got %v", s.VectorInstr)
+	}
+	// DRAM traffic is the GPU's, including its byte factor.
+	if s.DRAMAccesses != w.Bytes*w.GPUBytesFactor/CacheLineBytes {
+		t.Errorf("DRAMAccesses = %v", s.DRAMAccesses)
+	}
+	// One host thread only.
+	wantCyc := e.TimeSec * 3.7e9
+	if math.Abs(s.CoreCycles-wantCyc) > 1e-6*wantCyc {
+		t.Errorf("CoreCycles = %v, want %v", s.CoreCycles, wantCyc)
+	}
+}
+
+func TestCPUvsGPUSignaturesDiffer(t *testing.T) {
+	// The classifier depends on CPU and GPU sample runs producing
+	// distinguishable normalized signatures.
+	w, ec := runOn(t, apu.SampleConfigCPU())
+	_, eg := runOn(t, apu.SampleConfigGPU())
+	nc := Derive(w, ec).Normalize()
+	ng := Derive(w, eg).Normalize()
+	if nc.VecPerInstr <= ng.VecPerInstr {
+		t.Error("CPU run should show more vector instructions per instr")
+	}
+	if nc.IPC <= ng.IPC {
+		t.Error("CPU run should show higher IPC than an idle-waiting host")
+	}
+}
+
+func TestStallFracTracksMemoryBoundedness(t *testing.T) {
+	m := apu.DefaultMachine()
+	wCompute := testWorkload()
+	wCompute.Bytes = 1e5
+	wMemory := testWorkload()
+	wMemory.FLOPs = 1e6
+	wMemory.Bytes = 5e8
+	cfg := apu.Config{Device: apu.CPUDevice, CPUFreqGHz: 3.7, Threads: 4, GPUFreqGHz: 0.311}
+	ec, err := m.Run(wCompute, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := m.Run(wMemory, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Derive(wCompute, ec).Normalize()
+	sm := Derive(wMemory, em).Normalize()
+	if sm.StallPerCycle <= sc.StallPerCycle {
+		t.Errorf("memory-bound stall %v <= compute-bound stall %v", sm.StallPerCycle, sc.StallPerCycle)
+	}
+	if sm.DRAMPerRefCyc <= sc.DRAMPerRefCyc {
+		t.Errorf("memory-bound DRAM rate %v <= compute-bound %v", sm.DRAMPerRefCyc, sc.DRAMPerRefCyc)
+	}
+}
+
+func TestNormalizeNoNaN(t *testing.T) {
+	var s Set // all zeros
+	n := s.Normalize()
+	for i, v := range n.Vector() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("normalized metric %d is %v for zero counters", i, v)
+		}
+	}
+}
+
+func TestVectorNamesParallel(t *testing.T) {
+	var s Set
+	if len(s.Normalize().Vector()) != len(Names()) {
+		t.Fatal("Vector and Names lengths differ")
+	}
+}
+
+func TestNoisyReproducibleAndBounded(t *testing.T) {
+	w, e := runOn(t, apu.Config{Device: apu.CPUDevice, CPUFreqGHz: 2.4, Threads: 2, GPUFreqGHz: 0.311})
+	s := Derive(w, e)
+	a := s.Noisy(rand.New(rand.NewSource(4)), 0.02)
+	b := s.Noisy(rand.New(rand.NewSource(4)), 0.02)
+	if a != b {
+		t.Error("Noisy not reproducible with equal seeds")
+	}
+	if r := a.Instructions / s.Instructions; r < 0.85 || r > 1.15 {
+		t.Errorf("noise too large: ratio %v", r)
+	}
+	// Zero counters stay zero (no noise injected into structurally-zero
+	// counters like VectorInstr on the GPU host).
+	var zero Set
+	if zero.Noisy(rand.New(rand.NewSource(1)), 0.1) != zero {
+		t.Error("noise must not perturb zero counters")
+	}
+}
+
+func TestNoisyZeroRelIsIdentity(t *testing.T) {
+	w, e := runOn(t, apu.Config{Device: apu.CPUDevice, CPUFreqGHz: 2.4, Threads: 2, GPUFreqGHz: 0.311})
+	s := Derive(w, e)
+	if s.Noisy(rand.New(rand.NewSource(1)), 0) != s {
+		t.Error("rel=0 should be identity")
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	var s Set
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func BenchmarkDeriveNormalize(b *testing.B) {
+	w := testWorkload()
+	e, err := apu.DefaultMachine().Run(w, apu.SampleConfigCPU())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Derive(w, e).Normalize().Vector()
+	}
+}

@@ -1,0 +1,175 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"acsel/internal/core"
+	"acsel/internal/stats"
+)
+
+// AccuracyStats quantifies the model's predictive quality on held-out
+// kernels (each predicted by the fold model that never saw its
+// benchmark), backing the paper's claim that the model "accurately
+// predicts power and performance for a set of 36 kernels".
+type AccuracyStats struct {
+	// Relative absolute errors |pred − true| / true over all held-out
+	// (kernel, configuration) pairs.
+	PerfMAPE    float64 // mean
+	PerfMedAPE  float64 // median
+	PowerMAPE   float64
+	PowerMedAPE float64
+
+	// RankFidelity is the mean Kendall tau between predicted and true
+	// performance orderings of the configurations of each kernel; the
+	// models only need to *rank* configurations correctly (§III-B:
+	// "Our goal in using linear ... models is to rank configurations").
+	RankFidelity float64
+
+	// DeviceAccuracy is how often the predicted best-performance device
+	// matches the true best device.
+	DeviceAccuracy float64
+
+	// ClassifierAccuracy is the per-fold training-set accuracy of the
+	// classification tree, averaged over folds.
+	ClassifierAccuracy float64
+
+	// PerBenchmark breaks the error rates down by held-out benchmark.
+	PerBenchmark map[string]BenchmarkAccuracy
+}
+
+// BenchmarkAccuracy is the per-fold slice of AccuracyStats.
+type BenchmarkAccuracy struct {
+	PerfMedAPE  float64
+	PowerMedAPE float64
+	Kernels     int
+}
+
+// Accuracy computes prediction-quality statistics from the evaluation's
+// profiles and fold models.
+func (ev *Evaluation) Accuracy() (AccuracyStats, error) {
+	var perfErrs, powErrs []float64
+	var taus []float64
+	var deviceHits, deviceTotal int
+	perBench := map[string]*struct {
+		perf, pow []float64
+		kernels   int
+	}{}
+
+	for _, kp := range ev.Profiles {
+		model, ok := ev.FoldModels[kp.Benchmark]
+		if !ok {
+			return AccuracyStats{}, fmt.Errorf("eval: no fold model for %s", kp.Benchmark)
+		}
+		sr := core.SampleRuns{CPU: kp.CPUSample, GPU: kp.GPUSample}
+		preds, _, err := model.PredictAll(sr)
+		if err != nil {
+			return AccuracyStats{}, err
+		}
+		pb := perBench[kp.Benchmark]
+		if pb == nil {
+			pb = &struct {
+				perf, pow []float64
+				kernels   int
+			}{}
+			perBench[kp.Benchmark] = pb
+		}
+		pb.kernels++
+
+		var predPerf, truePerf []float64
+		bestPredPerf, bestTruePerf := math.Inf(-1), math.Inf(-1)
+		var bestPredID, bestTrueID int
+		for id, p := range preds {
+			tp := kp.Stats[id].MeanPerf
+			tw := kp.Stats[id].MeanPower
+			pe := math.Abs(p.Perf-tp) / tp
+			we := math.Abs(p.PowerW-tw) / tw
+			perfErrs = append(perfErrs, pe)
+			powErrs = append(powErrs, we)
+			pb.perf = append(pb.perf, pe)
+			pb.pow = append(pb.pow, we)
+			predPerf = append(predPerf, p.Perf)
+			truePerf = append(truePerf, tp)
+			if p.Perf > bestPredPerf {
+				bestPredPerf, bestPredID = p.Perf, id
+			}
+			if tp > bestTruePerf {
+				bestTruePerf, bestTrueID = tp, id
+			}
+		}
+		if tau, err := stats.KendallTau(predPerf, truePerf); err == nil {
+			taus = append(taus, tau)
+		}
+		deviceTotal++
+		if model.Space.Configs[bestPredID].Device == model.Space.Configs[bestTrueID].Device {
+			deviceHits++
+		}
+	}
+
+	// Classifier self-accuracy per fold.
+	var treeAccs []float64
+	for bench, model := range ev.FoldModels {
+		var X [][]float64
+		var y []int
+		for _, kp := range ev.Profiles {
+			if kp.Benchmark == bench {
+				continue // held out of this fold
+			}
+			X = append(X, core.ClassifierFeatures(kp.CPUSample, kp.GPUSample))
+			y = append(y, model.Assignments[kp.KernelID])
+		}
+		acc, err := model.Tree.Accuracy(X, y)
+		if err != nil {
+			return AccuracyStats{}, err
+		}
+		treeAccs = append(treeAccs, acc)
+	}
+
+	out := AccuracyStats{
+		PerfMAPE:           stats.Mean(perfErrs),
+		PerfMedAPE:         stats.Median(perfErrs),
+		PowerMAPE:          stats.Mean(powErrs),
+		PowerMedAPE:        stats.Median(powErrs),
+		RankFidelity:       stats.Mean(taus),
+		DeviceAccuracy:     float64(deviceHits) / float64(deviceTotal),
+		ClassifierAccuracy: stats.Mean(treeAccs),
+		PerBenchmark:       map[string]BenchmarkAccuracy{},
+	}
+	for bench, pb := range perBench {
+		out.PerBenchmark[bench] = BenchmarkAccuracy{
+			PerfMedAPE:  stats.Median(pb.perf),
+			PowerMedAPE: stats.Median(pb.pow),
+			Kernels:     pb.kernels,
+		}
+	}
+	return out, nil
+}
+
+// ReportAccuracy renders the accuracy analysis.
+func (ev *Evaluation) ReportAccuracy() (string, error) {
+	a, err := ev.Accuracy()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Model accuracy on held-out kernels (leave-one-benchmark-out)\n")
+	fmt.Fprintf(&b, "performance: mean APE %.1f%%, median APE %.1f%%\n", a.PerfMAPE*100, a.PerfMedAPE*100)
+	fmt.Fprintf(&b, "power:       mean APE %.1f%%, median APE %.1f%%\n", a.PowerMAPE*100, a.PowerMedAPE*100)
+	fmt.Fprintf(&b, "config ranking fidelity (Kendall tau): %.3f\n", a.RankFidelity)
+	fmt.Fprintf(&b, "best-device prediction accuracy: %.0f%%\n", a.DeviceAccuracy*100)
+	fmt.Fprintf(&b, "classifier training accuracy (mean over folds): %.0f%%\n", a.ClassifierAccuracy*100)
+	b.WriteString("per held-out benchmark (median APE):\n")
+	var names []string
+	for n := range a.PerBenchmark {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pb := a.PerBenchmark[n]
+		fmt.Fprintf(&b, "  %-8s perf %.1f%%  power %.1f%%  (%d kernels)\n",
+			n, pb.PerfMedAPE*100, pb.PowerMedAPE*100, pb.Kernels)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,346 @@
+// Package eval reproduces the paper's experimental methodology (§V):
+// leave-one-benchmark-out cross-validation of the model, evaluation of
+// every power-limiting method against an oracle at the power levels of
+// each kernel's oracle frontier, classification of outcomes into
+// under-limit and over-limit cases, and aggregation per benchmark/input
+// combination weighted by kernel time share.
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"acsel/internal/core"
+	"acsel/internal/kernels"
+	"acsel/internal/profiler"
+	"acsel/internal/sched"
+)
+
+// Case is one (kernel, power cap, method) outcome compared with the
+// oracle at the same cap.
+type Case struct {
+	KernelID   string
+	Combo      string // benchmark/input label, e.g. "LULESH Small"
+	Method     sched.Method
+	CapW       float64
+	Decision   sched.Decision
+	Oracle     sched.Decision
+	Under      bool
+	PerfRatio  float64 // true perf / oracle perf at the same cap
+	PowerRatio float64 // true power / oracle power at the same cap
+	Weight     float64 // kernel's share of benchmark runtime
+}
+
+// KernelSummary aggregates one kernel's cases for one method.
+type KernelSummary struct {
+	KernelID string
+	Method   sched.Method
+	Weight   float64
+
+	Cases      int
+	UnderCases int
+
+	// Means over the respective category; zero when the category is
+	// empty (check the counts).
+	UnderPerfRatio  float64
+	UnderPowerRatio float64
+	OverPerfRatio   float64
+	OverPowerRatio  float64
+}
+
+// PctUnder is the fraction of caps met.
+func (k KernelSummary) PctUnder() float64 {
+	if k.Cases == 0 {
+		return 0
+	}
+	return float64(k.UnderCases) / float64(k.Cases)
+}
+
+// MethodAgg is the weighted aggregate for one method over one scope (a
+// benchmark/input combo, or the whole suite) — one row of Table III.
+type MethodAgg struct {
+	Method sched.Method
+
+	PctUnder        float64
+	UnderPerfRatio  float64
+	UnderPowerRatio float64
+	OverPerfRatio   float64
+	OverPowerRatio  float64
+
+	// HasOver reports whether any over-limit case exists in the scope
+	// (GPU-hostile benchmarks may never violate).
+	HasOver  bool
+	HasUnder bool
+}
+
+// ComboAgg groups per-method aggregates for one benchmark/input combo —
+// one bar group of Figures 5, 6, 8, 9.
+type ComboAgg struct {
+	Combo     string
+	PerMethod map[sched.Method]MethodAgg
+}
+
+// Evaluation is the complete cross-validated result set.
+type Evaluation struct {
+	Cases     []Case
+	PerKernel []KernelSummary
+	PerCombo  []ComboAgg
+	Overall   map[sched.Method]MethodAgg
+	// FoldModels maps each held-out benchmark to the model trained on
+	// the remaining benchmarks (for tree dumps etc.).
+	FoldModels map[string]*core.Model
+	// Profiles is the full characterization, for frontier reports.
+	Profiles []*core.KernelProfile
+}
+
+// Harness drives a full evaluation.
+type Harness struct {
+	Profiler *profiler.Profiler
+	Opts     core.TrainOptions
+	// MethodsUnderTest defaults to sched.Methods().
+	MethodsUnderTest []sched.Method
+}
+
+// NewHarness builds a harness with the paper's defaults.
+func NewHarness() *Harness {
+	return &Harness{Profiler: profiler.New(), Opts: core.DefaultTrainOptions()}
+}
+
+// Run characterizes the whole suite, then for each benchmark trains on
+// the other benchmarks (leave-one-benchmark-out, §V-C) and evaluates
+// every method on the held-out kernels at the oracle-frontier power
+// caps (§V-B).
+func (h *Harness) Run() (*Evaluation, error) {
+	methods := h.MethodsUnderTest
+	if len(methods) == 0 {
+		methods = sched.Methods()
+	}
+	var ks []kernels.Kernel
+	for _, c := range kernels.Combos() {
+		ks = append(ks, c.Kernels...)
+	}
+	profiles, err := core.Characterize(h.Profiler, ks, h.Opts)
+	if err != nil {
+		return nil, fmt.Errorf("eval: characterize: %w", err)
+	}
+
+	ev := &Evaluation{FoldModels: map[string]*core.Model{}, Profiles: profiles}
+	benchNames := map[string]bool{}
+	for _, kp := range profiles {
+		benchNames[kp.Benchmark] = true
+	}
+	var benches []string
+	for b := range benchNames {
+		benches = append(benches, b)
+	}
+	sort.Strings(benches)
+
+	for _, bench := range benches {
+		var train []*core.KernelProfile
+		var test []*core.KernelProfile
+		for _, kp := range profiles {
+			if kp.Benchmark == bench {
+				test = append(test, kp)
+			} else {
+				train = append(train, kp)
+			}
+		}
+		model, err := core.Train(h.Profiler.Space, train, h.Opts)
+		if err != nil {
+			return nil, fmt.Errorf("eval: training fold %q: %w", bench, err)
+		}
+		ev.FoldModels[bench] = model
+		runner := &sched.Runner{Space: h.Profiler.Space, Model: model}
+		for _, kp := range test {
+			cases, err := evaluateKernel(runner, kp, methods)
+			if err != nil {
+				return nil, fmt.Errorf("eval: kernel %s: %w", kp.KernelID, err)
+			}
+			ev.Cases = append(ev.Cases, cases...)
+		}
+	}
+
+	ev.aggregate(methods)
+	return ev, nil
+}
+
+// evaluateKernel runs every method at every oracle-frontier power level
+// of one kernel.
+func evaluateKernel(r *sched.Runner, kp *core.KernelProfile, methods []sched.Method) ([]Case, error) {
+	truth := sched.ProfileTruth{Profile: kp}
+	sr := core.SampleRuns{CPU: kp.CPUSample, GPU: kp.GPUSample}
+	combo := comboLabel(kp)
+	var out []Case
+	for _, pt := range kp.Frontier.Points() {
+		capW := pt.Power
+		oracle := r.Oracle(truth, capW)
+		for _, m := range methods {
+			d, err := r.Decide(m, truth, sr, capW)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Case{
+				KernelID:   kp.KernelID,
+				Combo:      combo,
+				Method:     m,
+				CapW:       capW,
+				Decision:   d,
+				Oracle:     oracle,
+				Under:      d.MeetsCap(capW),
+				PerfRatio:  d.TruePerf / oracle.TruePerf,
+				PowerRatio: d.TruePower / oracle.TruePower,
+				Weight:     kp.TimeShare,
+			})
+		}
+	}
+	return out, nil
+}
+
+func comboLabel(kp *core.KernelProfile) string {
+	if kp.Input == "Default" {
+		return kp.Benchmark
+	}
+	return kp.Benchmark + " " + kp.Input
+}
+
+// aggregate reduces cases to per-kernel summaries, per-combo weighted
+// aggregates, and the overall Table III numbers.
+func (ev *Evaluation) aggregate(methods []sched.Method) {
+	type key struct {
+		kernel string
+		method sched.Method
+	}
+	byKernel := map[key][]Case{}
+	comboOf := map[string]string{}
+	weightOf := map[string]float64{}
+	for _, c := range ev.Cases {
+		k := key{c.KernelID, c.Method}
+		byKernel[k] = append(byKernel[k], c)
+		comboOf[c.KernelID] = c.Combo
+		weightOf[c.KernelID] = c.Weight
+	}
+
+	for k, cases := range byKernel {
+		s := KernelSummary{KernelID: k.kernel, Method: k.method, Weight: weightOf[k.kernel], Cases: len(cases)}
+		var upSum, uwSum, opSum, owSum float64
+		var overCases int
+		for _, c := range cases {
+			if c.Under {
+				s.UnderCases++
+				upSum += c.PerfRatio
+				uwSum += c.PowerRatio
+			} else {
+				overCases++
+				opSum += c.PerfRatio
+				owSum += c.PowerRatio
+			}
+		}
+		if s.UnderCases > 0 {
+			s.UnderPerfRatio = upSum / float64(s.UnderCases)
+			s.UnderPowerRatio = uwSum / float64(s.UnderCases)
+		}
+		if overCases > 0 {
+			s.OverPerfRatio = opSum / float64(overCases)
+			s.OverPowerRatio = owSum / float64(overCases)
+		}
+		ev.PerKernel = append(ev.PerKernel, s)
+	}
+	sort.Slice(ev.PerKernel, func(i, j int) bool {
+		if ev.PerKernel[i].KernelID != ev.PerKernel[j].KernelID {
+			return ev.PerKernel[i].KernelID < ev.PerKernel[j].KernelID
+		}
+		return ev.PerKernel[i].Method < ev.PerKernel[j].Method
+	})
+
+	combos := map[string]bool{}
+	for _, c := range comboOf {
+		combos[c] = true
+	}
+	var comboNames []string
+	for c := range combos {
+		comboNames = append(comboNames, c)
+	}
+	sort.Strings(comboNames)
+
+	for _, combo := range comboNames {
+		agg := ComboAgg{Combo: combo, PerMethod: map[sched.Method]MethodAgg{}}
+		for _, m := range methods {
+			var scoped []KernelSummary
+			for _, s := range ev.PerKernel {
+				if s.Method == m && comboOf[s.KernelID] == combo {
+					scoped = append(scoped, s)
+				}
+			}
+			agg.PerMethod[m] = aggregateSummaries(m, scoped)
+		}
+		ev.PerCombo = append(ev.PerCombo, agg)
+	}
+
+	ev.Overall = map[sched.Method]MethodAgg{}
+	for _, m := range methods {
+		var scoped []KernelSummary
+		for _, s := range ev.PerKernel {
+			if s.Method == m {
+				scoped = append(scoped, s)
+			}
+		}
+		ev.Overall[m] = aggregateSummaries(m, scoped)
+	}
+}
+
+// aggregateSummaries computes the time-share-weighted aggregate the
+// paper uses ("averaged across all kernels that compose each benchmark,
+// weighted by how much of the benchmark time is spent in each kernel").
+// Category means only weight kernels that have cases in that category.
+func aggregateSummaries(m sched.Method, ss []KernelSummary) MethodAgg {
+	agg := MethodAgg{Method: m}
+	var wAll, wUnder, wOver float64
+	for _, s := range ss {
+		w := s.Weight
+		wAll += w
+		agg.PctUnder += w * s.PctUnder()
+		if s.UnderCases > 0 {
+			wUnder += w
+			agg.UnderPerfRatio += w * s.UnderPerfRatio
+			agg.UnderPowerRatio += w * s.UnderPowerRatio
+		}
+		if s.Cases-s.UnderCases > 0 {
+			wOver += w
+			agg.OverPerfRatio += w * s.OverPerfRatio
+			agg.OverPowerRatio += w * s.OverPowerRatio
+		}
+	}
+	if wAll > 0 {
+		agg.PctUnder /= wAll
+	}
+	if wUnder > 0 {
+		agg.UnderPerfRatio /= wUnder
+		agg.UnderPowerRatio /= wUnder
+		agg.HasUnder = true
+	}
+	if wOver > 0 {
+		agg.OverPerfRatio /= wOver
+		agg.OverPowerRatio /= wOver
+		agg.HasOver = true
+	}
+	return agg
+}
+
+// ComboNames returns the evaluated combo labels in order.
+func (ev *Evaluation) ComboNames() []string {
+	var out []string
+	for _, c := range ev.PerCombo {
+		out = append(out, c.Combo)
+	}
+	return out
+}
+
+// ProfileByID finds a characterized kernel profile.
+func (ev *Evaluation) ProfileByID(id string) (*core.KernelProfile, bool) {
+	for _, kp := range ev.Profiles {
+		if kp.KernelID == id {
+			return kp, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,137 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"acsel/internal/core"
+	"acsel/internal/kernels"
+	"acsel/internal/sched"
+)
+
+// ExtensionVariant is one configuration of the §VI future-work
+// extensions applied to the model-based methods.
+type ExtensionVariant struct {
+	Name string
+	// LogTargets enables the variance-stabilizing transform on power
+	// regression targets.
+	LogTargets bool
+	// VarAwareZ is the variance-aware selection margin (0 disables).
+	VarAwareZ float64
+}
+
+// ExtensionVariants is the study grid: the base system and the three
+// §VI combinations.
+func ExtensionVariants() []ExtensionVariant {
+	return []ExtensionVariant{
+		{Name: "base"},
+		{Name: "+log", LogTargets: true},
+		{Name: "+va(z=1)", VarAwareZ: 1},
+		{Name: "+log+va", LogTargets: true, VarAwareZ: 1},
+	}
+}
+
+// ExtensionResult is one variant's headline numbers for the two
+// model-based methods.
+type ExtensionResult struct {
+	Variant ExtensionVariant
+	// Per method: cap compliance and under-limit oracle-relative perf.
+	ModelPctUnder    float64
+	ModelUnderPerf   float64
+	ModelFLPctUnder  float64
+	ModelFLUnderPerf float64
+}
+
+// RunExtensionStudy evaluates every extension variant with the full
+// cross-validated harness at the given profiling iteration count.
+func RunExtensionStudy(iterations int) ([]ExtensionResult, error) {
+	var out []ExtensionResult
+	for _, v := range ExtensionVariants() {
+		h := NewHarness()
+		h.Opts.Iterations = iterations
+		h.Opts.LogTargets = v.LogTargets
+		h.MethodsUnderTest = []sched.Method{sched.MethodModel, sched.MethodModelFL}
+		ev, err := runWithVarAware(h, v.VarAwareZ)
+		if err != nil {
+			return nil, fmt.Errorf("eval: variant %q: %w", v.Name, err)
+		}
+		out = append(out, ExtensionResult{
+			Variant:          v,
+			ModelPctUnder:    ev.Overall[sched.MethodModel].PctUnder,
+			ModelUnderPerf:   ev.Overall[sched.MethodModel].UnderPerfRatio,
+			ModelFLPctUnder:  ev.Overall[sched.MethodModelFL].PctUnder,
+			ModelFLUnderPerf: ev.Overall[sched.MethodModelFL].UnderPerfRatio,
+		})
+	}
+	return out, nil
+}
+
+// runWithVarAware mirrors Harness.Run but threads the variance-aware
+// margin into each fold's runner.
+func runWithVarAware(h *Harness, z float64) (*Evaluation, error) {
+	methods := h.MethodsUnderTest
+	if len(methods) == 0 {
+		methods = sched.Methods()
+	}
+	var ks []kernels.Kernel
+	for _, c := range kernels.Combos() {
+		ks = append(ks, c.Kernels...)
+	}
+	profiles, err := core.Characterize(h.Profiler, ks, h.Opts)
+	if err != nil {
+		return nil, err
+	}
+	ev := &Evaluation{FoldModels: map[string]*core.Model{}, Profiles: profiles}
+	for _, bench := range benchmarkNames(profiles) {
+		var train, test []*core.KernelProfile
+		for _, kp := range profiles {
+			if kp.Benchmark == bench {
+				test = append(test, kp)
+			} else {
+				train = append(train, kp)
+			}
+		}
+		model, err := core.Train(h.Profiler.Space, train, h.Opts)
+		if err != nil {
+			return nil, err
+		}
+		ev.FoldModels[bench] = model
+		runner := &sched.Runner{Space: h.Profiler.Space, Model: model, VarAwareZ: z}
+		for _, kp := range test {
+			cases, err := evaluateKernel(runner, kp, methods)
+			if err != nil {
+				return nil, err
+			}
+			ev.Cases = append(ev.Cases, cases...)
+		}
+	}
+	ev.aggregate(methods)
+	return ev, nil
+}
+
+// ReportExtensionStudy renders the study as a table.
+func ReportExtensionStudy(results []ExtensionResult) string {
+	var b strings.Builder
+	b.WriteString("Extension study (§VI future work): model variants, leave-one-benchmark-out\n")
+	fmt.Fprintf(&b, "%-10s %-16s %-16s %-18s %-18s\n",
+		"variant", "Model %under", "Model %perf", "Model+FL %under", "Model+FL %perf")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-10s %-16.0f %-16.0f %-18.0f %-18.0f\n",
+			r.Variant.Name,
+			r.ModelPctUnder*100, r.ModelUnderPerf*100,
+			r.ModelFLPctUnder*100, r.ModelFLUnderPerf*100)
+	}
+	return b.String()
+}
+
+func benchmarkNames(profiles []*core.KernelProfile) []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, kp := range profiles {
+		if !seen[kp.Benchmark] {
+			seen[kp.Benchmark] = true
+			names = append(names, kp.Benchmark)
+		}
+	}
+	return names
+}

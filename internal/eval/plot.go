@@ -1,0 +1,105 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"acsel/internal/apu"
+)
+
+// asciiPlot renders a power-vs-performance scatter as a text grid —
+// the closest a terminal gets to the paper's Figures 2 and 7. CPU
+// configurations print as 'c', GPU as 'g'; Pareto-frontier members are
+// capitalized.
+type asciiPlot struct {
+	width, height int
+	minX, maxX    float64
+	minY, maxY    float64
+	cells         [][]byte
+}
+
+func newASCIIPlot(width, height int, minX, maxX, minY, maxY float64) *asciiPlot {
+	if maxX <= minX {
+		maxX = minX + 1
+	}
+	if maxY <= minY {
+		maxY = minY + 1
+	}
+	cells := make([][]byte, height)
+	for i := range cells {
+		cells[i] = []byte(strings.Repeat(" ", width))
+	}
+	return &asciiPlot{width: width, height: height, minX: minX, maxX: maxX, minY: minY, maxY: maxY, cells: cells}
+}
+
+func (p *asciiPlot) mark(x, y float64, ch byte) {
+	cx := int(math.Round((x - p.minX) / (p.maxX - p.minX) * float64(p.width-1)))
+	cy := int(math.Round((y - p.minY) / (p.maxY - p.minY) * float64(p.height-1)))
+	if cx < 0 || cx >= p.width || cy < 0 || cy >= p.height {
+		return
+	}
+	row := p.height - 1 - cy // origin bottom-left
+	// Frontier marks (uppercase) win over plain marks.
+	if cur := p.cells[row][cx]; cur == ' ' || (cur >= 'a' && cur <= 'z' && ch >= 'A' && ch <= 'Z') {
+		p.cells[row][cx] = ch
+	}
+}
+
+func (p *asciiPlot) render(xlabel, ylabel string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", ylabel)
+	for i, row := range p.cells {
+		label := "      "
+		if i == 0 {
+			label = fmt.Sprintf("%5.2f ", p.maxY)
+		}
+		if i == p.height-1 {
+			label = fmt.Sprintf("%5.2f ", p.minY)
+		}
+		fmt.Fprintf(&b, "%s|%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "      %s\n", strings.Repeat("-", p.width+2))
+	fmt.Fprintf(&b, "      %-8.1f%s%8.1f\n", p.minX, centerPad(xlabel, p.width-14), p.maxX)
+	return b.String()
+}
+
+func centerPad(s string, w int) string {
+	if w < len(s) {
+		return s
+	}
+	left := (w - len(s)) / 2
+	return strings.Repeat(" ", left) + s + strings.Repeat(" ", w-len(s)-left)
+}
+
+// PlotFrontier renders a kernel's full configuration scatter with its
+// Pareto frontier highlighted, in the style of Figure 2 / Figure 7.
+func (ev *Evaluation) PlotFrontier(space *apu.Space, kernelID string) (string, error) {
+	kp, ok := ev.ProfileByID(kernelID)
+	if !ok {
+		return "", fmt.Errorf("eval: no profile for %s", kernelID)
+	}
+	best := kp.BestPerf()
+	minP, maxP := math.Inf(1), math.Inf(-1)
+	for _, st := range kp.Stats {
+		minP = math.Min(minP, st.MeanPower)
+		maxP = math.Max(maxP, st.MeanPower)
+	}
+	plot := newASCIIPlot(64, 20, minP, maxP, 0, 1)
+	onFront := map[int]bool{}
+	for _, pt := range kp.Frontier.Points() {
+		onFront[pt.ID] = true
+	}
+	for _, st := range kp.Stats {
+		ch := byte('c')
+		if space.Configs[st.ConfigID].Device == apu.GPUDevice {
+			ch = 'g'
+		}
+		if onFront[st.ConfigID] {
+			ch -= 'a' - 'A' // capitalize frontier members
+		}
+		plot.mark(st.MeanPower, st.MeanPerf/best, ch)
+	}
+	header := fmt.Sprintf("%s — c/g = CPU/GPU config, capitals on the Pareto frontier\n", kernelID)
+	return header + plot.render("power (W)", "normalized performance"), nil
+}

@@ -1,0 +1,282 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"acsel/internal/apu"
+	"acsel/internal/core"
+	"acsel/internal/sched"
+)
+
+// FrontierKernelID is the kernel whose frontier the paper shows in
+// Table I and Figure 2 (CalcFBHourglass from LULESH).
+const FrontierKernelID = "LULESH/Large/CalcFBHourglassForceForElems"
+
+// Fig7KernelID is the LU Small kernel of Figure 7.
+const Fig7KernelID = "LU/Small/lud"
+
+// ReportTable1 renders the Pareto frontier of the Table I kernel in the
+// paper's column layout: device, GPU frequency, threads, CPU frequency,
+// power, normalized performance.
+func (ev *Evaluation) ReportTable1(space *apu.Space) (string, error) {
+	return ev.reportFrontier(space, FrontierKernelID,
+		"Table I: configurations on the power-performance Pareto frontier of CalcFBHourglass (LULESH)")
+}
+
+// ReportFig7 renders the LU Small frontier of Figure 7.
+func (ev *Evaluation) ReportFig7(space *apu.Space) (string, error) {
+	return ev.reportFrontier(space, Fig7KernelID,
+		"Fig 7: power-performance frontier of LU Small")
+}
+
+func (ev *Evaluation) reportFrontier(space *apu.Space, kernelID, title string) (string, error) {
+	kp, ok := ev.ProfileByID(kernelID)
+	if !ok {
+		return "", fmt.Errorf("eval: no profile for %s", kernelID)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-6s %-8s %-7s %-8s %-8s %-6s\n", "Device", "GPU f.", "Threads", "CPU f.", "Power", "Perf*")
+	best := kp.BestPerf()
+	for _, pt := range kp.Frontier.Points() {
+		cfg := space.Configs[pt.ID]
+		fmt.Fprintf(&b, "%-6s %-8s %-7d %-8s %-8s %-6.2f\n",
+			cfg.Device,
+			fmt.Sprintf("%.1f GHz", cfg.GPUFreqGHz),
+			cfg.Threads,
+			fmt.Sprintf("%.1f GHz", cfg.CPUFreqGHz),
+			fmt.Sprintf("%.1f w", pt.Power),
+			pt.Perf/best)
+	}
+	b.WriteString("*Normalized performance\n")
+	return b.String(), nil
+}
+
+// Fig2Point is one scatter point of Figure 2: every configuration of
+// the Table I kernel (frontier and dominated alike).
+type Fig2Point struct {
+	ConfigID   int
+	Device     apu.Device
+	PowerW     float64
+	NormPerf   float64
+	OnFrontier bool
+}
+
+// Fig2Series returns the full scatter of Figure 2.
+func (ev *Evaluation) Fig2Series(space *apu.Space) ([]Fig2Point, error) {
+	kp, ok := ev.ProfileByID(FrontierKernelID)
+	if !ok {
+		return nil, fmt.Errorf("eval: no profile for %s", FrontierKernelID)
+	}
+	best := kp.BestPerf()
+	onFront := map[int]bool{}
+	for _, pt := range kp.Frontier.Points() {
+		onFront[pt.ID] = true
+	}
+	var out []Fig2Point
+	for _, st := range kp.Stats {
+		out = append(out, Fig2Point{
+			ConfigID:   st.ConfigID,
+			Device:     space.Configs[st.ConfigID].Device,
+			PowerW:     st.MeanPower,
+			NormPerf:   st.MeanPerf / best,
+			OnFrontier: onFront[st.ConfigID],
+		})
+	}
+	return out, nil
+}
+
+// ReportFig2 renders the Figure 2 scatter as text rows.
+func (ev *Evaluation) ReportFig2(space *apu.Space) (string, error) {
+	pts, err := ev.Fig2Series(space)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Fig 2: power-performance scatter of CalcFBHourglass (LULESH); * marks frontier\n")
+	fmt.Fprintf(&b, "%-4s %-6s %-9s %-9s\n", "id", "dev", "power_w", "norm_perf")
+	for _, p := range pts {
+		mark := " "
+		if p.OnFrontier {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "%-4d %-6s %-9.2f %-9.3f %s\n", p.ConfigID, p.Device, p.PowerW, p.NormPerf, mark)
+	}
+	return b.String(), nil
+}
+
+// ReportTable2 renders the two sample configurations (Table II).
+func ReportTable2() string {
+	var b strings.Builder
+	b.WriteString("Table II: sample configurations\n")
+	fmt.Fprintf(&b, "%-6s %-14s %-11s %-14s\n", "Device", "CPU frequency", "CPU threads", "GPU frequency")
+	for _, c := range []apu.Config{apu.SampleConfigCPU(), apu.SampleConfigGPU()} {
+		fmt.Fprintf(&b, "%-6s %-14s %-11d %-14s\n",
+			c.Device, fmt.Sprintf("%.1f GHz", c.CPUFreqGHz), c.Threads,
+			fmt.Sprintf("%.0f MHz", c.GPUFreqGHz*1000))
+	}
+	return b.String()
+}
+
+// ReportFig1 describes the offline/online pipeline (the flowchart of
+// Figure 1) as executable stage names.
+func ReportFig1() string {
+	return strings.Join([]string{
+		"Fig 1: system pipeline",
+		"offline: profile training kernels at all configurations",
+		"offline: derive per-kernel power-performance Pareto frontiers",
+		"offline: pairwise Kendall-tau frontier comparison -> dissimilarity matrix",
+		"offline: relational clustering (PAM, k=5)",
+		"offline: fit per-cluster per-device performance and power regressions",
+		"offline: train classification tree on sample-configuration signatures",
+		"online: run new kernel once per device at the sample configurations",
+		"online: classify kernel into a cluster (O(tree depth))",
+		"online: predict power and performance for all configurations",
+		"online: derive predicted Pareto frontier",
+		"online: select configuration maximizing performance under the power cap",
+	}, "\n") + "\n"
+}
+
+// ReportFig3 renders a fold's classification tree (Figure 3 shows an
+// example tree). The fold is identified by its held-out benchmark.
+func (ev *Evaluation) ReportFig3(heldOut string) (string, error) {
+	m, ok := ev.FoldModels[heldOut]
+	if !ok {
+		var names []string
+		for n := range ev.FoldModels {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return "", fmt.Errorf("eval: no fold %q (have %v)", heldOut, names)
+	}
+	return "Fig 3: cluster classification tree (fold holding out " + heldOut + ")\n" + m.RenderTree(), nil
+}
+
+// ReportTable3 renders the method-comparison table in the paper's
+// layout: % under-limit, under-limit % of oracle performance and power,
+// over-limit % of oracle power and performance.
+func (ev *Evaluation) ReportTable3() string {
+	var b strings.Builder
+	b.WriteString("Table III: comparison of methods, normalized to an oracle\n")
+	fmt.Fprintf(&b, "%-10s %-13s %-14s %-14s %-14s %-14s\n",
+		"Method", "% Under-limit", "% Oracle Perf.", "% Oracle Power", "% Oracle Power", "% Oracle Perf.")
+	fmt.Fprintf(&b, "%-10s %-13s %-29s %-29s\n", "", "", "  (under-limit)", "  (over-limit)")
+	for _, m := range sched.Methods() {
+		agg := ev.Overall[m]
+		over := func(v float64) string {
+			if !agg.HasOver {
+				return "-"
+			}
+			return fmt.Sprintf("%.0f", v*100)
+		}
+		under := func(v float64) string {
+			if !agg.HasUnder {
+				return "-"
+			}
+			return fmt.Sprintf("%.0f", v*100)
+		}
+		fmt.Fprintf(&b, "%-10s %-13.0f %-14s %-14s %-14s %-14s\n",
+			m, agg.PctUnder*100,
+			under(agg.UnderPerfRatio), under(agg.UnderPowerRatio),
+			over(agg.OverPowerRatio), over(agg.OverPerfRatio))
+	}
+	return b.String()
+}
+
+// Fig4Point is one method's position in Figure 4: cap-compliance rate
+// versus achieved under-limit performance, both against the oracle.
+type Fig4Point struct {
+	Method        sched.Method
+	PctUnder      float64
+	UnderPerfFrac float64
+}
+
+// Fig4Series returns Figure 4's points.
+func (ev *Evaluation) Fig4Series() []Fig4Point {
+	var out []Fig4Point
+	for _, m := range sched.Methods() {
+		agg := ev.Overall[m]
+		out = append(out, Fig4Point{Method: m, PctUnder: agg.PctUnder, UnderPerfFrac: agg.UnderPerfRatio})
+	}
+	return out
+}
+
+// ReportFig4 renders Figure 4 as text.
+func (ev *Evaluation) ReportFig4() string {
+	var b strings.Builder
+	b.WriteString("Fig 4: methods vs oracle (overall)\n")
+	fmt.Fprintf(&b, "%-10s %-18s %-24s\n", "Method", "% constraints met", "% optimal perf (under)")
+	for _, p := range ev.Fig4Series() {
+		fmt.Fprintf(&b, "%-10s %-18.1f %-24.1f\n", p.Method, p.PctUnder*100, p.UnderPerfFrac*100)
+	}
+	return b.String()
+}
+
+// perComboMetric renders one per-benchmark bar chart (Figures 5, 6, 8,
+// 9) as a text table: rows = combos, columns = methods.
+func (ev *Evaluation) perComboMetric(title string, get func(MethodAgg) (float64, bool)) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "%-14s", "Benchmark")
+	for _, m := range sched.Methods() {
+		fmt.Fprintf(&b, " %-10s", m)
+	}
+	b.WriteString("\n")
+	for _, combo := range ev.PerCombo {
+		fmt.Fprintf(&b, "%-14s", combo.Combo)
+		for _, m := range sched.Methods() {
+			v, ok := get(combo.PerMethod[m])
+			if !ok {
+				fmt.Fprintf(&b, " %-10s", "-")
+			} else {
+				fmt.Fprintf(&b, " %-10.1f", v*100)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ReportFig5 renders under-limit performance vs oracle per benchmark.
+func (ev *Evaluation) ReportFig5() string {
+	return ev.perComboMetric("Fig 5: percent of optimal performance by benchmark (under-limit cases)",
+		func(a MethodAgg) (float64, bool) { return a.UnderPerfRatio, a.HasUnder })
+}
+
+// ReportFig6 renders the percentage of cases under-limit per benchmark.
+func (ev *Evaluation) ReportFig6() string {
+	return ev.perComboMetric("Fig 6: percent of cases under-limit by benchmark",
+		func(a MethodAgg) (float64, bool) { return a.PctUnder, true })
+}
+
+// ReportFig8 renders over-limit power vs oracle per benchmark.
+func (ev *Evaluation) ReportFig8() string {
+	return ev.perComboMetric("Fig 8: over-limit power vs oracle by benchmark",
+		func(a MethodAgg) (float64, bool) { return a.OverPowerRatio, a.HasOver })
+}
+
+// ReportFig9 renders over-limit performance vs oracle per benchmark.
+func (ev *Evaluation) ReportFig9() string {
+	return ev.perComboMetric("Fig 9: over-limit performance vs oracle by benchmark",
+		func(a MethodAgg) (float64, bool) { return a.OverPerfRatio, a.HasOver })
+}
+
+// ReportClusterAssignments dumps one fold's training-kernel clusters,
+// for inspecting the offline stage.
+func ReportClusterAssignments(m *core.Model) string {
+	byCluster := make([][]string, m.K)
+	for id, c := range m.Assignments {
+		byCluster[c] = append(byCluster[c], id)
+	}
+	var b strings.Builder
+	for c, members := range byCluster {
+		sort.Strings(members)
+		fmt.Fprintf(&b, "cluster %d (%d kernels):\n", c, len(members))
+		for _, id := range members {
+			fmt.Fprintf(&b, "  %s\n", id)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"acsel/internal/core"
+)
+
+// KernelError summarizes the model's prediction quality for one
+// held-out kernel.
+type KernelError struct {
+	KernelID    string
+	Cluster     int
+	PerfMedAPE  float64
+	PowerMedAPE float64
+}
+
+// WorstPredicted returns the n held-out kernels with the largest median
+// performance-prediction errors — the first place to look when the
+// model misbehaves (typically kernels whose archetype is rare in the
+// training folds).
+func (ev *Evaluation) WorstPredicted(n int) ([]KernelError, error) {
+	var out []KernelError
+	for _, kp := range ev.Profiles {
+		model, ok := ev.FoldModels[kp.Benchmark]
+		if !ok {
+			return nil, fmt.Errorf("eval: no fold model for %s", kp.Benchmark)
+		}
+		sr := core.SampleRuns{CPU: kp.CPUSample, GPU: kp.GPUSample}
+		preds, cluster, err := model.PredictAll(sr)
+		if err != nil {
+			return nil, err
+		}
+		var perfErrs, powErrs []float64
+		for id, p := range preds {
+			tp := kp.Stats[id].MeanPerf
+			tw := kp.Stats[id].MeanPower
+			perfErrs = append(perfErrs, math.Abs(p.Perf-tp)/tp)
+			powErrs = append(powErrs, math.Abs(p.PowerW-tw)/tw)
+		}
+		out = append(out, KernelError{
+			KernelID:    kp.KernelID,
+			Cluster:     cluster,
+			PerfMedAPE:  medianOf(perfErrs),
+			PowerMedAPE: medianOf(powErrs),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PerfMedAPE > out[j].PerfMedAPE })
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out, nil
+}
+
+func medianOf(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if len(cp) == 0 {
+		return 0
+	}
+	return cp[len(cp)/2]
+}
+
+// ReportWorstPredicted renders the diagnostic.
+func (ev *Evaluation) ReportWorstPredicted(n int) (string, error) {
+	worst, err := ev.WorstPredicted(n)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d worst-predicted kernels (held-out, median abs. error)\n", len(worst))
+	fmt.Fprintf(&b, "%-42s %-8s %-10s %-10s\n", "kernel", "cluster", "perf APE", "power APE")
+	for _, w := range worst {
+		fmt.Fprintf(&b, "%-42s %-8d %-10.1f %-10.1f\n",
+			w.KernelID, w.Cluster, w.PerfMedAPE*100, w.PowerMedAPE*100)
+	}
+	return b.String(), nil
+}

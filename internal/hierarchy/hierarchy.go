@@ -1,0 +1,336 @@
+// Package hierarchy distributes a cluster-level power budget across
+// nodes — the system context the paper opens with (§I: "power
+// constraints will be enforced by system-wide power policies ... passed
+// down through the machine hierarchy to each rack, node, and core") and
+// closes with (§II: "Our model is a key ingredient to maximizing
+// performance on a multi-node cluster"). Each node runs the adaptive
+// runtime; the divider sets per-node caps, either uniformly, in
+// proportion to measured demand, or by water-filling over the nodes'
+// *predicted* utility curves — the cluster-scale payoff of the
+// per-kernel predicted Pareto frontiers.
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"acsel/internal/kernels"
+	"acsel/internal/rts"
+)
+
+// Policy selects the budget divider.
+type Policy int
+
+const (
+	// Uniform splits the budget equally across nodes.
+	Uniform Policy = iota
+	// DemandProportional splits in proportion to each node's recent
+	// measured power demand (feedback-driven, model-free).
+	DemandProportional
+	// WaterFill allocates watt by watt to the node with the highest
+	// predicted marginal performance gain, using the adapted kernels'
+	// cached predictions.
+	WaterFill
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Uniform:
+		return "uniform"
+	case DemandProportional:
+		return "demand-proportional"
+	case WaterFill:
+		return "water-fill"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Node is one machine in the cluster: an adaptive runtime executing an
+// application's kernels each timestep.
+type Node struct {
+	Name    string
+	Runtime *rts.Runtime
+	App     []kernels.Kernel
+}
+
+// minNodeCapW is the smallest per-node budget the divider will assign —
+// roughly the machine's idle-plus-one-core floor.
+const minNodeCapW = 10.0
+
+// Cluster owns the nodes and the global budget.
+type Cluster struct {
+	Nodes   []*Node
+	BudgetW float64
+	Policy  Policy
+}
+
+// ErrNoNodes is returned for an empty cluster.
+var ErrNoNodes = errors.New("hierarchy: no nodes")
+
+// NewCluster validates and assembles a cluster.
+func NewCluster(nodes []*Node, budgetW float64, p Policy) (*Cluster, error) {
+	if len(nodes) == 0 {
+		return nil, ErrNoNodes
+	}
+	if budgetW < minNodeCapW*float64(len(nodes)) {
+		return nil, fmt.Errorf("hierarchy: budget %.1f W below floor %.1f W for %d nodes",
+			budgetW, minNodeCapW*float64(len(nodes)), len(nodes))
+	}
+	for i, n := range nodes {
+		if n.Runtime == nil || len(n.App) == 0 {
+			return nil, fmt.Errorf("hierarchy: node %d incomplete", i)
+		}
+	}
+	return &Cluster{Nodes: nodes, BudgetW: budgetW, Policy: p}, nil
+}
+
+// Rebalance computes per-node caps under the policy and applies them.
+// It returns the assigned caps in node order.
+func (c *Cluster) Rebalance() ([]float64, error) {
+	var caps []float64
+	switch c.Policy {
+	case Uniform:
+		caps = c.uniformCaps()
+	case DemandProportional:
+		caps = c.demandCaps()
+	case WaterFill:
+		caps = c.waterFillCaps()
+	default:
+		return nil, fmt.Errorf("hierarchy: unknown policy %d", int(c.Policy))
+	}
+	for i, n := range c.Nodes {
+		if err := n.Runtime.SetCap(caps[i]); err != nil {
+			return nil, err
+		}
+	}
+	return caps, nil
+}
+
+func (c *Cluster) uniformCaps() []float64 {
+	n := len(c.Nodes)
+	caps := make([]float64, n)
+	for i := range caps {
+		caps[i] = c.BudgetW / float64(n)
+	}
+	return caps
+}
+
+// demandCaps divides the budget proportionally to each node's mean
+// measured power over its most recent steps, with the floor respected.
+// Nodes without history fall back to a uniform share.
+func (c *Cluster) demandCaps() []float64 {
+	n := len(c.Nodes)
+	demand := make([]float64, n)
+	total := 0.0
+	for i, node := range c.Nodes {
+		steps := node.Runtime.Steps()
+		window := len(node.App)
+		if len(steps) < window || window == 0 {
+			demand[i] = c.BudgetW / float64(n)
+		} else {
+			var sum float64
+			for _, s := range steps[len(steps)-window:] {
+				sum += s.PowerW
+			}
+			demand[i] = sum / float64(window)
+		}
+		total += demand[i]
+	}
+	caps := make([]float64, n)
+	spare := c.BudgetW - minNodeCapW*float64(n)
+	for i := range caps {
+		caps[i] = minNodeCapW + spare*demand[i]/total
+	}
+	return caps
+}
+
+// waterFillCaps builds each node's predicted utility curve — weighted
+// normalized performance achievable at a given node cap, from the
+// adapted kernels' cached predictions — and assigns the budget
+// greedily by gain density. The curves are step functions that jump
+// only where some configuration becomes affordable, so the allocator
+// works on those breakpoints: at each round it finds, per node, the
+// affordable breakpoint with the best predicted-gain-per-watt, and
+// funds the globally best one until nothing affordable improves.
+func (c *Cluster) waterFillCaps() []float64 {
+	n := len(c.Nodes)
+	curves := make([]func(capW float64) float64, n)
+	breakpoints := make([][]float64, n)
+	for i, node := range c.Nodes {
+		curves[i] = nodeUtilityCurve(node)
+		breakpoints[i] = nodeBreakpoints(node)
+	}
+	caps := make([]float64, n)
+	for i := range caps {
+		caps[i] = minNodeCapW
+	}
+	remaining := c.BudgetW - minNodeCapW*float64(n)
+	for {
+		bestI, bestBP, bestDensity := -1, 0.0, 0.0
+		for i := range c.Nodes {
+			base := curves[i](caps[i])
+			for _, bp := range breakpoints[i] {
+				cost := bp - caps[i]
+				if cost <= 1e-9 || cost > remaining {
+					continue
+				}
+				gain := curves[i](bp) - base
+				if gain <= 0 {
+					continue
+				}
+				if d := gain / cost; d > bestDensity {
+					bestI, bestBP, bestDensity = i, bp, d
+				}
+			}
+		}
+		if bestI < 0 {
+			break
+		}
+		remaining -= bestBP - caps[bestI]
+		caps[bestI] = bestBP
+	}
+	// No affordable breakpoint improves anything: return the residue
+	// uniformly (headroom against prediction error).
+	for i := range caps {
+		caps[i] += remaining / float64(n)
+	}
+	return caps
+}
+
+// nodeBreakpoints returns the sorted unique predicted power values of a
+// node's adapted kernels — the caps at which its utility curve can jump.
+func nodeBreakpoints(node *Node) []float64 {
+	seen := map[float64]bool{}
+	var bps []float64
+	for _, key := range node.Runtime.AdaptedKernels() {
+		preds, ok := node.Runtime.PredictionsFor(key)
+		if !ok {
+			continue
+		}
+		for _, p := range preds {
+			if !seen[p.PowerW] {
+				seen[p.PowerW] = true
+				bps = append(bps, p.PowerW)
+			}
+		}
+	}
+	sort.Float64s(bps)
+	return bps
+}
+
+// nodeUtilityCurve estimates weighted normalized performance at a node
+// cap: for each adapted kernel, the best predicted performance under
+// the cap divided by its best predicted performance overall, weighted
+// by the kernel's time share. Un-adapted nodes get a flat curve (no
+// information yet).
+func nodeUtilityCurve(node *Node) func(float64) float64 {
+	type kernelPreds struct {
+		weight  float64
+		perf    []float64 // predicted perf per config
+		power   []float64
+		maxPerf float64
+	}
+	var ks []kernelPreds
+	shareOf := map[string]float64{}
+	for _, k := range node.App {
+		shareOf[k.ID()] = k.TimeShare
+	}
+	for _, key := range node.Runtime.AdaptedKernels() {
+		preds, ok := node.Runtime.PredictionsFor(key)
+		if !ok {
+			continue
+		}
+		kp := kernelPreds{weight: shareOf[key]}
+		if kp.weight == 0 {
+			kp.weight = 1.0 / float64(len(node.App))
+		}
+		for _, p := range preds {
+			kp.perf = append(kp.perf, p.Perf)
+			kp.power = append(kp.power, p.PowerW)
+			if p.Perf > kp.maxPerf {
+				kp.maxPerf = p.Perf
+			}
+		}
+		ks = append(ks, kp)
+	}
+	if len(ks) == 0 {
+		return func(float64) float64 { return 0 }
+	}
+	return func(capW float64) float64 {
+		total := 0.0
+		for _, kp := range ks {
+			best := 0.0
+			for i := range kp.perf {
+				if kp.power[i] <= capW && kp.perf[i] > best {
+					best = kp.perf[i]
+				}
+			}
+			if kp.maxPerf > 0 {
+				total += kp.weight * best / kp.maxPerf
+			}
+		}
+		return total
+	}
+}
+
+// StepResult summarizes one node's timestep.
+type StepResult struct {
+	Node       string
+	CapW       float64
+	TimeSec    float64
+	EnergyJ    float64
+	Violations int
+	Kernels    int
+}
+
+// Step runs one application timestep on every node concurrently and
+// returns per-node summaries in node order.
+func (c *Cluster) Step() ([]StepResult, error) {
+	results := make([]StepResult, len(c.Nodes))
+	errs := make([]error, len(c.Nodes))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, node := range c.Nodes {
+		wg.Add(1)
+		go func(i int, node *Node) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r := StepResult{Node: node.Name, CapW: node.Runtime.Cap(), Kernels: len(node.App)}
+			for _, k := range node.App {
+				s, err := node.Runtime.RunKernel(k)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				r.TimeSec += s.TimeSec * k.TimeShare
+				r.EnergyJ += s.EnergyJ * k.TimeShare
+				if !s.UnderCap {
+					r.Violations++
+				}
+			}
+			results[i] = r
+		}(i, node)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// TotalAssignedW sums the nodes' current caps (must not exceed the
+// budget after Rebalance).
+func (c *Cluster) TotalAssignedW() float64 {
+	total := 0.0
+	for _, n := range c.Nodes {
+		total += n.Runtime.Cap()
+	}
+	return total
+}

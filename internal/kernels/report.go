@@ -1,0 +1,29 @@
+package kernels
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ReportSuite renders the benchmark catalog: every kernel with its
+// archetype, time share, and key workload parameters at a reference
+// input — the table a user consults to understand what the synthetic
+// suite contains and how it maps to the paper's applications (§IV-B).
+func ReportSuite() string {
+	var b strings.Builder
+	b.WriteString("Benchmark suite: 36 kernels, 65 benchmark/input combinations\n")
+	for _, bench := range Suite() {
+		fmt.Fprintf(&b, "\n%s (inputs: %s)\n", bench.Name, strings.Join(bench.Inputs, ", "))
+		fmt.Fprintf(&b, "  %-34s %-14s %-6s %-8s %-8s %-8s %-8s\n",
+			"kernel", "archetype", "share", "AI", "par", "vec", "gpuAff")
+		ref := bench.Inputs[0]
+		for _, spec := range bench.Kernels {
+			k := Instantiate(bench.Name, spec, ref)
+			fmt.Fprintf(&b, "  %-34s %-14s %-6.2f %-8.2f %-8.2f %-8.2f %-8.2f\n",
+				spec.Name, spec.Archetype, spec.TimeShare,
+				k.Workload.ArithmeticIntensity(), k.Workload.ParFrac,
+				k.Workload.VecFrac, k.Workload.GPUAffinity)
+		}
+	}
+	return b.String()
+}

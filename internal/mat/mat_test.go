@@ -1,0 +1,405 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestNewDenseZero(t *testing.T) {
+	m := NewDense(3, 2, nil)
+	r, c := m.Dims()
+	if r != 3 || c != 2 {
+		t.Fatalf("Dims = %d,%d want 3,2", r, c)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			if m.At(i, j) != 0 {
+				t.Errorf("At(%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewDensePanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero dims")
+		}
+	}()
+	NewDense(0, 2, nil)
+}
+
+func TestNewDensePanicsOnBadData(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched data length")
+		}
+	}()
+	NewDense(2, 2, []float64{1, 2, 3})
+}
+
+func TestSetAt(t *testing.T) {
+	m := NewDense(2, 3, nil)
+	m.Set(1, 2, 42)
+	if m.At(1, 2) != 42 {
+		t.Fatalf("round trip failed: %v", m.At(1, 2))
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	m := NewDense(2, 2, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range index")
+		}
+	}()
+	_ = m.At(2, 0)
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Errorf("I[%d][%d] = %v", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := NewDense(2, 2, []float64{1, 2, 3, 4})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares backing storage")
+	}
+}
+
+func TestRowCol(t *testing.T) {
+	m := NewDense(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	row := m.Row(1)
+	if row[0] != 4 || row[1] != 5 || row[2] != 6 {
+		t.Errorf("Row(1) = %v", row)
+	}
+	col := m.Col(2)
+	if col[0] != 3 || col[1] != 6 {
+		t.Errorf("Col(2) = %v", col)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewDense(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	tr := m.T()
+	r, c := tr.Dims()
+	if r != 3 || c != 2 {
+		t.Fatalf("T dims = %d,%d", r, c)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Errorf("T mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	m := NewDense(3, 3, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	p, err := Mul(m, Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if p.At(i, j) != m.At(i, j) {
+				t.Errorf("M·I ≠ M at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := NewDense(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewDense(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	p, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{58, 64}, {139, 154}}
+	for i := range want {
+		for j := range want[i] {
+			if p.At(i, j) != want[i][j] {
+				t.Errorf("product[%d][%d] = %v want %v", i, j, p.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulShapeError(t *testing.T) {
+	a := NewDense(2, 3, nil)
+	b := NewDense(2, 3, nil)
+	if _, err := Mul(a, b); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewDense(2, 3, []float64{1, 0, 2, 0, 1, 3})
+	y, err := MulVec(a, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 7 || y[1] != 11 {
+		t.Errorf("MulVec = %v", y)
+	}
+}
+
+func TestMulVecShapeError(t *testing.T) {
+	a := NewDense(2, 3, nil)
+	if _, err := MulVec(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestDot(t *testing.T) {
+	if d := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); d != 32 {
+		t.Errorf("Dot = %v", d)
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	if n := Norm2([]float64{3, 4}); !almostEq(n, 5, 1e-14) {
+		t.Errorf("Norm2 = %v", n)
+	}
+	if n := Norm2(nil); n != 0 {
+		t.Errorf("Norm2(nil) = %v", n)
+	}
+	// Overflow guard: values near MaxFloat64 scale safely.
+	big := math.MaxFloat64 / 4
+	if n := Norm2([]float64{big, big}); math.IsInf(n, 0) || math.IsNaN(n) {
+		t.Errorf("Norm2 overflowed: %v", n)
+	}
+}
+
+func TestQRExactSystem(t *testing.T) {
+	// Square nonsingular system: solution should be near-exact.
+	a := NewDense(3, 3, []float64{2, 1, 1, 1, 3, 2, 1, 0, 0})
+	b := []float64{4, 5, 6}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify residual is ~0.
+	r, _ := MulVec(a, x)
+	for i := range r {
+		if !almostEq(r[i], b[i], 1e-10) {
+			t.Errorf("residual at %d: got %v want %v", i, r[i], b[i])
+		}
+	}
+}
+
+func TestQROverdetermined(t *testing.T) {
+	// Fit y = 2x + 1 from noisy-free samples: exact recovery expected.
+	xs := []float64{0, 1, 2, 3, 4}
+	a := NewDense(5, 2, nil)
+	b := make([]float64, 5)
+	for i, x := range xs {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, x)
+		b[i] = 2*x + 1
+	}
+	coef, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(coef[0], 1, 1e-10) || !almostEq(coef[1], 2, 1e-10) {
+		t.Errorf("coef = %v, want [1 2]", coef)
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	// Third column is the sum of the first two: rank 2.
+	a := NewDense(4, 3, nil)
+	b := make([]float64, 4)
+	for i := 0; i < 4; i++ {
+		x := float64(i)
+		a.Set(i, 0, 1)
+		a.Set(i, 1, x)
+		a.Set(i, 2, 1+x)
+		b[i] = 3 * x
+	}
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Rank() != 2 {
+		t.Fatalf("Rank = %d, want 2", f.Rank())
+	}
+	x, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prediction must still be correct even though coefficients are not unique.
+	pred, _ := MulVec(a, x)
+	for i := range pred {
+		if !almostEq(pred[i], b[i], 1e-9) {
+			t.Errorf("pred[%d] = %v want %v", i, pred[i], b[i])
+		}
+	}
+}
+
+func TestQRUnderdeterminedRejected(t *testing.T) {
+	a := NewDense(2, 3, nil)
+	if _, err := Factor(a); err == nil {
+		t.Fatal("expected error for rows < cols")
+	}
+}
+
+func TestQRZeroMatrix(t *testing.T) {
+	a := NewDense(3, 2, nil)
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Rank() != 0 {
+		t.Fatalf("Rank of zero matrix = %d", f.Rank())
+	}
+	if _, err := f.Solve([]float64{1, 2, 3}); err == nil {
+		t.Fatal("expected ErrSingular solving against zero matrix")
+	}
+}
+
+func TestQRSolveWrongRHSLength(t *testing.T) {
+	a := NewDense(3, 2, []float64{1, 0, 0, 1, 1, 1})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1, 2}); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+// Property: for random well-conditioned overdetermined systems, the QR
+// least-squares residual is orthogonal to the column space (normal
+// equations hold).
+func TestQRResidualOrthogonality(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		m := 6 + rng.Intn(10)
+		n := 2 + rng.Intn(4)
+		a := NewDense(m, n, nil)
+		b := make([]float64, m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			b[i] = rng.NormFloat64()
+		}
+		x, err := LeastSquares(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ax, _ := MulVec(a, x)
+		resid := make([]float64, m)
+		for i := range resid {
+			resid[i] = b[i] - ax[i]
+		}
+		// Aᵀ r ≈ 0
+		atr, _ := MulVec(a.T(), resid)
+		for j := range atr {
+			if math.Abs(atr[j]) > 1e-8 {
+				t.Fatalf("trial %d: normal equations violated: Aᵀr[%d] = %v", trial, j, atr[j])
+			}
+		}
+	}
+}
+
+// Property (testing/quick): transposing twice is the identity.
+func TestTransposeInvolution(t *testing.T) {
+	f := func(vals [12]float64) bool {
+		m := NewDense(3, 4, vals[:])
+		tt := m.T().T()
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 4; j++ {
+				if tt.At(i, j) != m.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (testing/quick): Dot is symmetric and bilinear in scaling.
+func TestDotSymmetry(t *testing.T) {
+	f := func(a, b [6]float64) bool {
+		x, y := Dot(a[:], b[:]), Dot(b[:], a[:])
+		return x == y || (math.IsNaN(x) && math.IsNaN(y))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ‖x‖₂ from Norm2 matches naive sqrt(Σx²) for moderate values.
+func TestNorm2MatchesNaive(t *testing.T) {
+	f := func(a [8]float64) bool {
+		for i := range a {
+			// Clamp into a moderate range to keep naive sum finite.
+			a[i] = math.Mod(a[i], 1e6)
+			if math.IsNaN(a[i]) {
+				a[i] = 0
+			}
+		}
+		s := 0.0
+		for _, v := range a {
+			s += v * v
+		}
+		return almostEq(Norm2(a[:]), math.Sqrt(s), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	m := NewDense(1, 2, []float64{1, 2})
+	if s := m.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func BenchmarkQRFactorSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	m, n := 42, 7
+	a := NewDense(m, n, nil)
+	rhs := make([]float64, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+		rhs[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LeastSquares(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

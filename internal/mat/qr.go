@@ -1,0 +1,207 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR factorization of an m×n matrix A (m >= n)
+// with column pivoting: A·P = Q·R. It is the backbone of the
+// least-squares solves used by the regression models; column pivoting
+// lets the solver detect and survive rank deficiency, which arises
+// naturally when a cluster's training kernels only cover part of the
+// configuration space.
+type QR struct {
+	qr    *Dense    // packed factors: R in the upper triangle, Householder vectors below
+	tau   []float64 // Householder scalar factors
+	perm  []int     // column permutation: column j of A·P is column perm[j] of A
+	rank  int       // numerical rank
+	m, n  int
+	rdiag []float64 // diagonal of R (post-pivot)
+	heads []float64 // first element of each Householder vector
+}
+
+// Factor computes the pivoted QR factorization of a. It requires
+// rows >= cols.
+func Factor(a *Dense) (*QR, error) {
+	m, n := a.Dims()
+	if m < n {
+		return nil, fmt.Errorf("%w: QR requires rows >= cols, got %dx%d", ErrShape, m, n)
+	}
+	qr := a.Clone()
+	tau := make([]float64, n)
+	heads := make([]float64, n)
+	perm := make([]int, n)
+	colNorm := make([]float64, n)
+	for j := 0; j < n; j++ {
+		perm[j] = j
+		colNorm[j] = Norm2(qr.Col(j))
+	}
+
+	for k := 0; k < n; k++ {
+		// Pivot: bring the column with the largest remaining norm to position k.
+		best := k
+		for j := k + 1; j < n; j++ {
+			if colNorm[j] > colNorm[best] {
+				best = j
+			}
+		}
+		if best != k {
+			swapCols(qr, k, best)
+			perm[k], perm[best] = perm[best], perm[k]
+			colNorm[k], colNorm[best] = colNorm[best], colNorm[k]
+		}
+
+		// Householder reflector annihilating below-diagonal entries of column k.
+		alpha := 0.0
+		for i := k; i < m; i++ {
+			v := qr.At(i, k)
+			alpha += v * v
+		}
+		alpha = math.Sqrt(alpha)
+		if qr.At(k, k) > 0 {
+			alpha = -alpha
+		}
+		if alpha == 0 {
+			tau[k] = 0
+			continue
+		}
+		beta := math.Sqrt(2 * (alpha*alpha - alpha*qr.At(k, k)))
+		vk := make([]float64, m-k)
+		vk[0] = qr.At(k, k) - alpha
+		for i := k + 1; i < m; i++ {
+			vk[i-k] = qr.At(i, k)
+		}
+		for i := range vk {
+			vk[i] /= beta
+		}
+		// Apply reflector H = I − 2 v vᵀ to the trailing submatrix.
+		for j := k; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += vk[i-k] * qr.At(i, j)
+			}
+			s *= 2
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)-s*vk[i-k])
+			}
+		}
+		// Store: R diagonal is alpha; reflector vector below the diagonal.
+		qr.Set(k, k, alpha)
+		heads[k] = vk[0]
+		for i := k + 1; i < m; i++ {
+			qr.Set(i, k, vk[i-k])
+		}
+		tau[k] = 1 // marker: reflector stored
+
+		// Downdate remaining column norms (recompute; matrices are tiny).
+		for j := k + 1; j < n; j++ {
+			s := 0.0
+			for i := k + 1; i < m; i++ {
+				v := qr.At(i, j)
+				s += v * v
+			}
+			colNorm[j] = math.Sqrt(s)
+		}
+	}
+
+	f := &QR{qr: qr, tau: tau, perm: perm, m: m, n: n, heads: heads}
+	f.rdiag = make([]float64, n)
+	maxDiag := 0.0
+	for j := 0; j < n; j++ {
+		f.rdiag[j] = qr.At(j, j)
+		if d := math.Abs(f.rdiag[j]); d > maxDiag {
+			maxDiag = d
+		}
+	}
+	tol := float64(max(m, n)) * maxDiag * 1e-12
+	f.rank = 0
+	for j := 0; j < n; j++ {
+		if math.Abs(f.rdiag[j]) > tol {
+			f.rank++
+		} else {
+			break // pivoting orders diagonals by decreasing magnitude
+		}
+	}
+	return f, nil
+}
+
+// Rank returns the numerical rank determined during factorization.
+func (f *QR) Rank() int { return f.rank }
+
+// Solve returns the minimum-norm-ish least-squares solution x of
+// A·x ≈ b using the factorization. For rank-deficient systems the
+// coefficients of dependent columns are set to zero (a pragmatic
+// choice that keeps regression predictions finite and well-behaved).
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.m {
+		return nil, fmt.Errorf("%w: rhs length %d, want %d", ErrShape, len(b), f.m)
+	}
+	if f.rank == 0 {
+		return nil, ErrSingular
+	}
+	// y = Qᵀ b: apply reflectors in order.
+	y := make([]float64, f.m)
+	copy(y, b)
+	for k := 0; k < f.n; k++ {
+		if f.tau[k] == 0 {
+			continue
+		}
+		s := 0.0
+		for i := k; i < f.m; i++ {
+			var vi float64
+			if i == k {
+				vi = f.householderHead(k)
+			} else {
+				vi = f.qr.At(i, k)
+			}
+			s += vi * y[i]
+		}
+		s *= 2
+		for i := k; i < f.m; i++ {
+			var vi float64
+			if i == k {
+				vi = f.householderHead(k)
+			} else {
+				vi = f.qr.At(i, k)
+			}
+			y[i] -= s * vi
+		}
+	}
+	// Back-substitute R (rank leading block) for the permuted solution.
+	z := make([]float64, f.n)
+	for i := f.rank - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < f.rank; j++ {
+			s -= f.qr.At(i, j) * z[j]
+		}
+		z[i] = s / f.qr.At(i, i)
+	}
+	// Un-permute.
+	x := make([]float64, f.n)
+	for j := 0; j < f.n; j++ {
+		x[f.perm[j]] = z[j]
+	}
+	return x, nil
+}
+
+// householderHead returns the first element of the k-th Householder
+// vector, which was stored separately because the R diagonal overwrites
+// its slot in the packed factorization.
+func (f *QR) householderHead(k int) float64 { return f.heads[k] }
+
+func swapCols(m *Dense, a, b int) {
+	for i := 0; i < m.rows; i++ {
+		m.data[i*m.cols+a], m.data[i*m.cols+b] = m.data[i*m.cols+b], m.data[i*m.cols+a]
+	}
+}
+
+// LeastSquares solves min ‖A·x − b‖₂ via pivoted QR. It is the
+// entry point used by the regression layer.
+func LeastSquares(a *Dense, b []float64) ([]float64, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}

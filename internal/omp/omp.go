@@ -1,0 +1,228 @@
+// Package omp is a miniature OpenMP-style runtime for the CPU
+// implementation path: parallel regions executed over a team of
+// threads, with OMP_NUM_THREADS-style controls, fork/join and barrier
+// accounting, and the same interposition hooks the profiling library
+// uses on the OpenCL side (§III-A: "we choose a distinct implementation
+// for each device: OpenMP on the CPU, and OpenCL on the GPU"; §III-D:
+// the library accounts for "thread creation and synchronization in the
+// case of OpenMP"). Execution is backed by the apu machine model over a
+// virtual clock.
+package omp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"acsel/internal/apu"
+)
+
+// Schedule selects the loop schedule; it perturbs the effective
+// synchronization overhead (dynamic scheduling costs more bookkeeping
+// but tolerates imbalance better).
+type Schedule int
+
+const (
+	// ScheduleStatic divides iterations up front (default).
+	ScheduleStatic Schedule = iota
+	// ScheduleDynamic hands out chunks on demand.
+	ScheduleDynamic
+)
+
+// String names the schedule as OMP_SCHEDULE would.
+func (s Schedule) String() string {
+	if s == ScheduleDynamic {
+		return "dynamic"
+	}
+	return "static"
+}
+
+// dynamicOverheadFactor scales barrier/bookkeeping cost under dynamic
+// scheduling; imbalance tolerance reduces effective serial tail.
+const dynamicOverheadFactor = 1.5
+
+// dynamicImbalanceRelief is the fraction of the serial tail recovered
+// by dynamic scheduling for imbalanced kernels.
+const dynamicImbalanceRelief = 0.25
+
+// Region is the profiling record of one executed parallel region.
+type Region struct {
+	Name      string
+	Threads   int
+	FreqGHz   float64
+	Schedule  Schedule
+	StartAt   float64
+	EndAt     float64
+	Execution apu.Execution
+	Iteration int
+}
+
+// Duration is the region's virtual wall time.
+func (r *Region) Duration() float64 { return r.EndAt - r.StartAt }
+
+// Hook mirrors cl.Hook for the OpenMP path.
+type Hook interface {
+	// OnRegionStart fires at the parallel-region fork.
+	OnRegionStart(name string, threads int, freqGHz float64)
+	// OnRegionEnd fires at the join, with the region record.
+	OnRegionEnd(r *Region)
+}
+
+// Runtime executes parallel regions on the CPU at a controlled thread
+// count and P-state.
+type Runtime struct {
+	machine *apu.Machine
+
+	mu       sync.Mutex
+	threads  int
+	freqGHz  float64
+	schedule Schedule
+	now      float64
+	hooks    []Hook
+	iters    map[string]int
+	regions  []*Region
+	rngFor   func(kernel string, cfgID, iter int) *rand.Rand
+}
+
+// NewRuntime creates a runtime at the machine's defaults: all cores,
+// maximum frequency, static schedule. A nil machine uses the default.
+func NewRuntime(m *apu.Machine) *Runtime {
+	if m == nil {
+		m = apu.DefaultMachine()
+	}
+	return &Runtime{
+		machine: m,
+		threads: apu.NumCores,
+		freqGHz: apu.MaxCPUFreq(),
+		iters:   map[string]int{},
+	}
+}
+
+// ErrBadThreads is returned for thread counts outside 1..NumCores.
+var ErrBadThreads = errors.New("omp: thread count out of range")
+
+// SetNumThreads adjusts the team size (omp_set_num_threads).
+func (rt *Runtime) SetNumThreads(n int) error {
+	if n < 1 || n > apu.NumCores {
+		return fmt.Errorf("%w: %d", ErrBadThreads, n)
+	}
+	rt.mu.Lock()
+	rt.threads = n
+	rt.mu.Unlock()
+	return nil
+}
+
+// SetFrequency selects the CPU P-state for subsequent regions.
+func (rt *Runtime) SetFrequency(freqGHz float64) error {
+	if _, err := apu.CPUVoltage(freqGHz); err != nil {
+		return err
+	}
+	rt.mu.Lock()
+	rt.freqGHz = freqGHz
+	rt.mu.Unlock()
+	return nil
+}
+
+// SetSchedule selects the loop schedule.
+func (rt *Runtime) SetSchedule(s Schedule) {
+	rt.mu.Lock()
+	rt.schedule = s
+	rt.mu.Unlock()
+}
+
+// SetNoise installs a deterministic noise source (nil disables).
+func (rt *Runtime) SetNoise(f func(kernel string, cfgID, iter int) *rand.Rand) {
+	rt.mu.Lock()
+	rt.rngFor = f
+	rt.mu.Unlock()
+}
+
+// AddHook registers an interposition hook.
+func (rt *Runtime) AddHook(h Hook) {
+	rt.mu.Lock()
+	rt.hooks = append(rt.hooks, h)
+	rt.mu.Unlock()
+}
+
+// Now returns the virtual time.
+func (rt *Runtime) Now() float64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.now
+}
+
+// ParallelFor executes workload w as a parallel region under the
+// current thread count, frequency, and schedule, returning its record.
+func (rt *Runtime) ParallelFor(w apu.Workload) (*Region, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	rt.mu.Lock()
+	threads := rt.threads
+	freq := rt.freqGHz
+	sched := rt.schedule
+	iter := rt.iters[w.Name]
+	rt.iters[w.Name] = iter + 1
+	hooks := append([]Hook(nil), rt.hooks...)
+	rngFor := rt.rngFor
+	rt.mu.Unlock()
+
+	for _, h := range hooks {
+		h.OnRegionStart(w.Name, threads, freq)
+	}
+
+	// Dynamic scheduling: more bookkeeping per barrier, partial relief
+	// of the serial tail. Modeled by perturbing the workload before it
+	// reaches the machine.
+	adjusted := w
+	if sched == ScheduleDynamic {
+		serial := 1 - w.ParFrac
+		adjusted.ParFrac = 1 - serial*(1-dynamicImbalanceRelief)
+		if adjusted.ParFrac > 0.999 {
+			adjusted.ParFrac = 0.999
+		}
+	}
+
+	cfg := apu.Config{Device: apu.CPUDevice, CPUFreqGHz: freq, Threads: threads, GPUFreqGHz: apu.MinGPUFreq()}
+	var exec apu.Execution
+	var err error
+	if rngFor != nil {
+		exec, err = rt.machine.RunNoisy(adjusted, cfg, rngFor(w.Name, threads*1000+int(freq*100), iter))
+	} else {
+		exec, err = rt.machine.Run(adjusted, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if sched == ScheduleDynamic {
+		extra := exec.SyncTimeSec * (dynamicOverheadFactor - 1)
+		exec.SyncTimeSec += extra
+		exec.TimeSec += extra
+	}
+
+	rt.mu.Lock()
+	start := rt.now
+	rt.now += exec.TimeSec
+	end := rt.now
+	rt.mu.Unlock()
+
+	r := &Region{
+		Name: w.Name, Threads: threads, FreqGHz: freq, Schedule: sched,
+		StartAt: start, EndAt: end, Execution: exec, Iteration: iter,
+	}
+	rt.mu.Lock()
+	rt.regions = append(rt.regions, r)
+	rt.mu.Unlock()
+	for _, h := range hooks {
+		h.OnRegionEnd(r)
+	}
+	return r, nil
+}
+
+// Regions returns the recorded region history.
+func (rt *Runtime) Regions() []*Region {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return append([]*Region(nil), rt.regions...)
+}

@@ -1,0 +1,201 @@
+package omp
+
+import (
+	"testing"
+
+	"acsel/internal/apu"
+	"acsel/internal/kernels"
+)
+
+func testWorkload() apu.Workload {
+	return kernels.Instantiate("SMC", kernels.Suite()[2].Kernels[0], "Default").Workload
+}
+
+func TestScheduleString(t *testing.T) {
+	if ScheduleStatic.String() != "static" || ScheduleDynamic.String() != "dynamic" {
+		t.Fatal("schedule strings")
+	}
+}
+
+func TestParallelForBasics(t *testing.T) {
+	rt := NewRuntime(nil)
+	r, err := rt.ParallelFor(testWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Threads != apu.NumCores || r.FreqGHz != apu.MaxCPUFreq() {
+		t.Errorf("defaults: %d threads @ %v GHz", r.Threads, r.FreqGHz)
+	}
+	if r.Duration() <= 0 || r.EndAt != rt.Now() {
+		t.Errorf("region timing: %+v", r)
+	}
+	if r.Execution.Config.Device != apu.CPUDevice {
+		t.Error("OpenMP region ran off-CPU")
+	}
+	if len(rt.Regions()) != 1 {
+		t.Error("region not recorded")
+	}
+}
+
+func TestParallelForValidatesWorkload(t *testing.T) {
+	rt := NewRuntime(nil)
+	if _, err := rt.ParallelFor(apu.Workload{}); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}
+
+func TestSetNumThreads(t *testing.T) {
+	rt := NewRuntime(nil)
+	if err := rt.SetNumThreads(2); err != nil {
+		t.Fatal(err)
+	}
+	r, err := rt.ParallelFor(testWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Threads != 2 {
+		t.Errorf("threads = %d", r.Threads)
+	}
+	if err := rt.SetNumThreads(0); err == nil {
+		t.Error("0 threads accepted")
+	}
+	if err := rt.SetNumThreads(apu.NumCores + 1); err == nil {
+		t.Error("oversubscription accepted")
+	}
+}
+
+func TestSetFrequency(t *testing.T) {
+	rt := NewRuntime(nil)
+	if err := rt.SetFrequency(1.4); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := rt.ParallelFor(testWorkload())
+	if r.FreqGHz != 1.4 {
+		t.Errorf("freq = %v", r.FreqGHz)
+	}
+	if err := rt.SetFrequency(2.5); err == nil {
+		t.Error("unknown frequency accepted")
+	}
+}
+
+func TestMoreThreadsFaster(t *testing.T) {
+	w := testWorkload()
+	rt := NewRuntime(nil)
+	_ = rt.SetNumThreads(1)
+	r1, err := rt.ParallelFor(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rt.SetNumThreads(4)
+	r4, err := rt.ParallelFor(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Duration() >= r1.Duration() {
+		t.Errorf("4 threads (%v) not faster than 1 (%v)", r4.Duration(), r1.Duration())
+	}
+}
+
+func TestDynamicScheduleTradeoff(t *testing.T) {
+	// Dynamic scheduling must cost more sync time but recover part of
+	// the serial tail for poorly-balanced kernels.
+	w := testWorkload()
+	w.ParFrac = 0.6 // imbalanced
+	rtS := NewRuntime(nil)
+	rS, err := rtS.ParallelFor(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtD := NewRuntime(nil)
+	rtD.SetSchedule(ScheduleDynamic)
+	rD, err := rtD.ParallelFor(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rD.Execution.SyncTimeSec <= rS.Execution.SyncTimeSec {
+		t.Error("dynamic schedule should cost more synchronization")
+	}
+	if rD.Duration() >= rS.Duration() {
+		t.Error("dynamic schedule should win overall for an imbalanced kernel")
+	}
+}
+
+type countHook struct {
+	starts, ends int
+	lastThreads  int
+}
+
+func (h *countHook) OnRegionStart(_ string, threads int, _ float64) {
+	h.starts++
+	h.lastThreads = threads
+}
+func (h *countHook) OnRegionEnd(*Region) { h.ends++ }
+
+func TestHooks(t *testing.T) {
+	rt := NewRuntime(nil)
+	h := &countHook{}
+	rt.AddHook(h)
+	_ = rt.SetNumThreads(3)
+	if _, err := rt.ParallelFor(testWorkload()); err != nil {
+		t.Fatal(err)
+	}
+	if h.starts != 1 || h.ends != 1 || h.lastThreads != 3 {
+		t.Errorf("hook: %+v", h)
+	}
+}
+
+func TestIterationNumbersPerKernel(t *testing.T) {
+	rt := NewRuntime(nil)
+	w := testWorkload()
+	for i := 0; i < 3; i++ {
+		r, err := rt.ParallelFor(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Iteration != i {
+			t.Errorf("iteration %d labeled %d", i, r.Iteration)
+		}
+	}
+}
+
+func TestNoiseDeterministic(t *testing.T) {
+	mk := func() float64 {
+		rt := NewRuntime(nil)
+		rt.SetNoise(kernels.IterationRNG)
+		r, err := rt.ParallelFor(testWorkload())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Duration()
+	}
+	if mk() != mk() {
+		t.Error("noisy regions not reproducible")
+	}
+}
+
+func TestVirtualClockAccumulates(t *testing.T) {
+	rt := NewRuntime(nil)
+	w := testWorkload()
+	var sum float64
+	for i := 0; i < 3; i++ {
+		r, err := rt.ParallelFor(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += r.Duration()
+	}
+	if diff := rt.Now() - sum; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("clock %v != sum of durations %v", rt.Now(), sum)
+	}
+}
+
+func BenchmarkParallelFor(b *testing.B) {
+	rt := NewRuntime(nil)
+	w := testWorkload()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.ParallelFor(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package pareto_test
+
+import (
+	"fmt"
+
+	"acsel/internal/pareto"
+)
+
+// Deriving a frontier from measured operating points and querying it
+// under a power cap — the core geometric operation of the scheduler.
+func ExampleFrontier_BestUnderCap() {
+	points := []pareto.Point{
+		{ID: 0, Power: 12.5, Perf: 0.15},
+		{ID: 1, Power: 14.8, Perf: 0.43},
+		{ID: 2, Power: 24.2, Perf: 0.84}, // GPU section begins
+		{ID: 3, Power: 29.8, Perf: 1.00},
+		{ID: 4, Power: 20.0, Perf: 0.30}, // dominated by 1 (more power, less perf)
+	}
+	f := pareto.New(points)
+	fmt.Println("frontier size:", f.Len())
+	if best, ok := f.BestUnderCap(25); ok {
+		fmt.Printf("best under 25 W: config %d at %.1f W\n", best.ID, best.Power)
+	}
+	if _, ok := f.BestUnderCap(10); !ok {
+		fmt.Println("no configuration fits under 10 W")
+	}
+	// Output:
+	// frontier size: 4
+	// best under 25 W: config 2 at 24.2 W
+	// no configuration fits under 10 W
+}

@@ -1,0 +1,246 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDomainString(t *testing.T) {
+	if DomainCPU.String() != "cpu" || DomainNBGPU.String() != "nbgpu" {
+		t.Fatal("domain strings")
+	}
+}
+
+func TestMeasureConstantTraceNoNoise(t *testing.T) {
+	smu := &SMU{SampleHz: 1000}
+	m, err := smu.Measure(ConstantTrace(10, 5), 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.AvgCPUW-10) > 1e-9 {
+		t.Errorf("AvgCPUW = %v", m.AvgCPUW)
+	}
+	if math.Abs(m.AvgNBGPUW-5) > 1e-9 {
+		t.Errorf("AvgNBGPUW = %v", m.AvgNBGPUW)
+	}
+	if math.Abs(m.EnergyCPUJ-5) > 1e-9 { // 10 W × 0.5 s
+		t.Errorf("EnergyCPUJ = %v", m.EnergyCPUJ)
+	}
+	if math.Abs(m.TotalAvgW()-15) > 1e-9 {
+		t.Errorf("TotalAvgW = %v", m.TotalAvgW())
+	}
+	if math.Abs(m.TotalEnergyJ()-7.5) > 1e-9 {
+		t.Errorf("TotalEnergyJ = %v", m.TotalEnergyJ())
+	}
+	if m.Samples < 500 {
+		t.Errorf("Samples = %d, want ≈ 501 at 1 kHz over 0.5 s", m.Samples)
+	}
+}
+
+func TestMeasureLinearRamp(t *testing.T) {
+	// Power ramping 0→10 W linearly: average must be ≈5 W (trapezoid
+	// integrates linear functions exactly).
+	smu := &SMU{SampleHz: 1000}
+	trace := func(t float64) (float64, float64) { return 10 * t, 0 }
+	m, err := smu.Measure(trace, 1.0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.AvgCPUW-5) > 1e-9 {
+		t.Errorf("ramp average = %v, want 5", m.AvgCPUW)
+	}
+}
+
+func TestMeasureSubMillisecondKernel(t *testing.T) {
+	// Kernels shorter than one sample period still get start+end samples.
+	smu := &SMU{SampleHz: 1000}
+	m, err := smu.Measure(ConstantTrace(20, 10), 200e-6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Samples < 2 {
+		t.Fatalf("Samples = %d", m.Samples)
+	}
+	if math.Abs(m.AvgCPUW-20) > 1e-9 {
+		t.Errorf("AvgCPUW = %v", m.AvgCPUW)
+	}
+}
+
+func TestMeasureRejectsBadDuration(t *testing.T) {
+	smu := DefaultSMU()
+	if _, err := smu.Measure(ConstantTrace(1, 1), 0, nil); err == nil {
+		t.Fatal("expected ErrBadDuration")
+	}
+	if _, err := smu.Measure(ConstantTrace(1, 1), -1, nil); err == nil {
+		t.Fatal("expected ErrBadDuration")
+	}
+}
+
+func TestQuantization(t *testing.T) {
+	smu := &SMU{SampleHz: 1000, QuantumW: 0.5}
+	m, err := smu.Measure(ConstantTrace(10.2, 5.4), 0.1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.AvgCPUW-10.0) > 1e-9 {
+		t.Errorf("quantized AvgCPUW = %v, want 10.0", m.AvgCPUW)
+	}
+	if math.Abs(m.AvgNBGPUW-5.5) > 1e-9 {
+		t.Errorf("quantized AvgNBGPUW = %v, want 5.5", m.AvgNBGPUW)
+	}
+}
+
+func TestNoiseUnbiasedAndReproducible(t *testing.T) {
+	smu := &SMU{SampleHz: 1000, NoiseStd: 0.05}
+	a, err := smu.Measure(ConstantTrace(30, 10), 1.0, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := smu.Measure(ConstantTrace(30, 10), 1.0, rand.New(rand.NewSource(3)))
+	if a.AvgCPUW != b.AvgCPUW {
+		t.Error("noisy measurement not reproducible with same seed")
+	}
+	// With ~1000 samples the mean should concentrate near truth.
+	if math.Abs(a.AvgCPUW-30) > 0.5 {
+		t.Errorf("noisy mean %v too far from 30", a.AvgCPUW)
+	}
+}
+
+func TestNegativeSamplesClamped(t *testing.T) {
+	smu := &SMU{SampleHz: 1000, NoiseStd: 10} // absurd noise forces negatives pre-clamp
+	m, err := smu.Measure(ConstantTrace(0.01, 0.01), 0.05, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AvgCPUW < 0 || m.AvgNBGPUW < 0 {
+		t.Errorf("negative average power: %v %v", m.AvgCPUW, m.AvgNBGPUW)
+	}
+}
+
+func TestSamplingOverheadUnderTenPercent(t *testing.T) {
+	// §IV-C: 1 kHz sampling incurs <10% overhead in all cases. With a
+	// 5 µs per-sample cost, kernels at realistic durations stay under.
+	smu := DefaultSMU()
+	for _, dur := range []float64{0.001, 0.01, 0.1, 1, 10} {
+		if ov := smu.SamplingOverheadFrac(dur, 5e-6); ov >= 0.10 {
+			t.Errorf("duration %v: overhead %v >= 10%%", dur, ov)
+		}
+	}
+	if smu.SamplingOverheadFrac(0, 5e-6) != 0 {
+		t.Error("zero duration overhead should be 0")
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	var acc Accumulator
+	w := acc.Begin(100)
+	acc.Add(DomainCPU, 30) // 30 J
+	acc.Add(DomainNBGPU, 12)
+	acc.Add(DomainCPU, -5) // ignored
+	m, err := acc.End(w, 103)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.AvgCPUW-10) > 1e-12 {
+		t.Errorf("AvgCPUW = %v, want 10 (30 J over 3 s)", m.AvgCPUW)
+	}
+	if math.Abs(m.AvgNBGPUW-4) > 1e-12 {
+		t.Errorf("AvgNBGPUW = %v, want 4", m.AvgNBGPUW)
+	}
+	if acc.Read(DomainCPU) != 30 {
+		t.Errorf("Read = %v", acc.Read(DomainCPU))
+	}
+}
+
+func TestAccumulatorMonotone(t *testing.T) {
+	var acc Accumulator
+	acc.Add(DomainCPU, 5)
+	before := acc.Read(DomainCPU)
+	acc.Add(DomainCPU, -100)
+	if acc.Read(DomainCPU) != before {
+		t.Error("accumulator decreased")
+	}
+}
+
+func TestAccumulatorEndBadWindow(t *testing.T) {
+	var acc Accumulator
+	w := acc.Begin(10)
+	if _, err := acc.End(w, 10); err == nil {
+		t.Fatal("expected ErrBadDuration for zero window")
+	}
+	if _, err := acc.End(w, 9); err == nil {
+		t.Fatal("expected ErrBadDuration for negative window")
+	}
+}
+
+// Property: for any constant trace, measured energy equals avg × time
+// and equals the true value when noise and quantization are off.
+func TestMeasureEnergyConsistency(t *testing.T) {
+	smu := &SMU{SampleHz: 1000}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		cpu := rng.Float64() * 50
+		nb := rng.Float64() * 30
+		dur := 0.001 + rng.Float64()
+		m, err := smu.Measure(ConstantTrace(cpu, nb), dur, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(m.EnergyCPUJ-m.AvgCPUW*dur) > 1e-9*(1+m.EnergyCPUJ) {
+			t.Fatalf("energy/avg inconsistency: %v vs %v", m.EnergyCPUJ, m.AvgCPUW*dur)
+		}
+		if math.Abs(m.AvgCPUW-cpu) > 1e-9 {
+			t.Fatalf("avg %v, want %v", m.AvgCPUW, cpu)
+		}
+	}
+}
+
+func BenchmarkMeasure(b *testing.B) {
+	smu := DefaultSMU()
+	rng := rand.New(rand.NewSource(2))
+	trace := ConstantTrace(25, 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := smu.Measure(trace, 0.05, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestPhasedTrace(t *testing.T) {
+	trace := PhasedTrace([]Phase{
+		{DurationSec: 1, CPUW: 10, NBGPUW: 2}, // launch: host active
+		{DurationSec: 3, CPUW: 5, NBGPUW: 30}, // execution: GPU active
+	})
+	if c, n := trace(0.5); c != 10 || n != 2 {
+		t.Errorf("launch phase = %v, %v", c, n)
+	}
+	if c, n := trace(2.0); c != 5 || n != 30 {
+		t.Errorf("exec phase = %v, %v", c, n)
+	}
+	// Past the end: holds the last phase.
+	if c, _ := trace(100); c != 5 {
+		t.Errorf("tail = %v", c)
+	}
+	// Empty trace is zero.
+	if c, n := PhasedTrace(nil)(1); c != 0 || n != 0 {
+		t.Error("empty phased trace should be 0")
+	}
+}
+
+func TestMeasurePhasedTraceAverages(t *testing.T) {
+	// 1 s at (10, 2) then 3 s at (5, 30): averages 6.25 and 23 W.
+	smu := &SMU{SampleHz: 1000}
+	trace := PhasedTrace([]Phase{{1, 10, 2}, {3, 5, 30}})
+	m, err := smu.Measure(trace, 4.0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.AvgCPUW-6.25) > 0.02 {
+		t.Errorf("AvgCPUW = %v, want ≈6.25", m.AvgCPUW)
+	}
+	if math.Abs(m.AvgNBGPUW-23) > 0.05 {
+		t.Errorf("AvgNBGPUW = %v, want ≈23", m.AvgNBGPUW)
+	}
+}

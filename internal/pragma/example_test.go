@@ -1,0 +1,29 @@
+package pragma_test
+
+import (
+	"fmt"
+
+	"acsel/internal/pragma"
+)
+
+// Rewriting a profiling pragma into library calls, as the paper's
+// source preprocessor does (§III-D).
+func ExamplePreprocess() {
+	src := `#pragma acsel profile("CalcQForElems")
+{
+  calc_q(domain);
+}`
+	out, sites, err := pragma.Preprocess(src)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out)
+	fmt.Printf("instrumented: %s (line %d)\n", sites[0].Kernel, sites[0].Line)
+	// Output:
+	// acsel_profile_begin("CalcQForElems");
+	// {
+	//   calc_q(domain);
+	// }
+	// acsel_profile_end("CalcQForElems");
+	// instrumented: CalcQForElems (line 1)
+}

@@ -1,0 +1,48 @@
+package pragma
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzPreprocess checks that the preprocessor never panics, that its
+// output never contains a recognized pragma (so preprocessing is
+// idempotent), and that untouched input passes through unchanged.
+func FuzzPreprocess(f *testing.F) {
+	f.Add("#pragma acsel profile(\"k\")\n{\n  x();\n}")
+	f.Add("#pragma acsel profile(\"a\")\ny();")
+	f.Add("plain code\nno pragmas\n")
+	f.Add("#pragma acsel profile(\"k\")")
+	f.Add("#pragma acsel profile(bad)")
+	f.Add("{ unbalanced\n#pragma acsel profile(\"k\")\n{\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		out, sites, err := Preprocess(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if strings.Contains(out, "#pragma acsel profile(\"") && pragmaRe.MatchString(firstPragmaLine(out)) {
+			t.Errorf("output still contains a recognizable pragma:\n%s", out)
+		}
+		if len(sites) == 0 && out != src {
+			t.Errorf("no sites but output changed:\nin:  %q\nout: %q", src, out)
+		}
+		// Idempotence on successful output.
+		out2, sites2, err2 := Preprocess(out)
+		if err2 != nil {
+			t.Errorf("reprocessing failed: %v", err2)
+			return
+		}
+		if out2 != out || len(sites2) != 0 {
+			t.Errorf("not idempotent")
+		}
+	})
+}
+
+func firstPragmaLine(s string) string {
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, Marker) {
+			return l
+		}
+	}
+	return ""
+}

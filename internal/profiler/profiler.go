@@ -1,0 +1,209 @@
+// Package profiler is the integrated profiling library of §III-D: it
+// associates power and performance measurements with specific kernels,
+// records per-invocation samples of performance counters and the two
+// SMU power domains, keeps an in-memory history available to the
+// runtime (the foundation for dynamic scheduling), and serializes
+// profiles to disk after a run.
+//
+// On the real system the library is invoked through profiling pragmas
+// compiled into library calls around each kernel; here Run plays both
+// roles: it executes the kernel's workload on the machine model and
+// records the instrumented measurement.
+package profiler
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"acsel/internal/apu"
+	"acsel/internal/counters"
+	"acsel/internal/kernels"
+	"acsel/internal/power"
+)
+
+// Sample is one instrumented kernel invocation: identification, the
+// timing outcome, the SMU's integrated power measurement, and the
+// counter readout. It corresponds to one row of the paper's profiling
+// data set.
+type Sample struct {
+	KernelID  string       `json:"kernel_id"`
+	Benchmark string       `json:"benchmark"`
+	Input     string       `json:"input"`
+	Kernel    string       `json:"kernel"`
+	ConfigID  int          `json:"config_id"`
+	Config    apu.Config   `json:"config"`
+	Iteration int          `json:"iteration"`
+	TimeSec   float64      `json:"time_sec"`
+	CPUPowerW float64      `json:"cpu_power_w"`
+	NBGPUW    float64      `json:"nbgpu_power_w"`
+	Counters  counters.Set `json:"counters"`
+}
+
+// Perf is the sample's throughput (1/time).
+func (s Sample) Perf() float64 { return 1 / s.TimeSec }
+
+// TotalPowerW is the package power of the sample.
+func (s Sample) TotalPowerW() float64 { return s.CPUPowerW + s.NBGPUW }
+
+// Profiler measures kernel executions on a machine model through a
+// simulated SMU. It is safe for concurrent use.
+type Profiler struct {
+	Machine *apu.Machine
+	Space   *apu.Space
+	SMU     *power.SMU
+	// CounterNoiseRel is the relative jitter applied to counter values.
+	CounterNoiseRel float64
+
+	mu      sync.Mutex
+	history []Sample
+}
+
+// New creates a profiler over the default machine, configuration space,
+// and SMU.
+func New() *Profiler {
+	return &Profiler{
+		Machine:         apu.DefaultMachine(),
+		Space:           apu.NewSpace(),
+		SMU:             power.DefaultSMU(),
+		CounterNoiseRel: 0.01,
+	}
+}
+
+// ErrUnknownConfig is returned when a config ID is outside the space.
+var ErrUnknownConfig = errors.New("profiler: unknown configuration")
+
+// Run executes one iteration of kernel k at configuration cfgID and
+// records the sample. All noise derives from the (kernel, config,
+// iteration) identity, so repeated calls return identical samples and
+// whole experiments are reproducible.
+func (p *Profiler) Run(k kernels.Kernel, cfgID, iteration int) (Sample, error) {
+	cfg, err := p.Space.ByID(cfgID)
+	if err != nil {
+		return Sample{}, fmt.Errorf("%w: %v", ErrUnknownConfig, err)
+	}
+	rng := kernels.IterationRNG(k.ID(), cfgID, iteration)
+	exec, err := p.Machine.RunNoisy(k.Workload, cfg, rng)
+	if err != nil {
+		return Sample{}, err
+	}
+	meas, err := p.SMU.Measure(power.ConstantTrace(exec.CPUPowerW, exec.NBGPUPowerW), exec.TimeSec, rng)
+	if err != nil {
+		return Sample{}, err
+	}
+	ctr := counters.Derive(k.Workload, exec).Noisy(rng, p.CounterNoiseRel)
+	s := Sample{
+		KernelID:  k.ID(),
+		Benchmark: k.Benchmark,
+		Input:     k.Input,
+		Kernel:    k.Name,
+		ConfigID:  cfgID,
+		Config:    cfg,
+		Iteration: iteration,
+		TimeSec:   exec.TimeSec,
+		CPUPowerW: meas.AvgCPUW,
+		NBGPUW:    meas.AvgNBGPUW,
+		Counters:  ctr,
+	}
+	p.mu.Lock()
+	p.history = append(p.history, s)
+	p.mu.Unlock()
+	return s, nil
+}
+
+// RunConfig is Run for an explicit configuration that must exist in the
+// profiler's space.
+func (p *Profiler) RunConfig(k kernels.Kernel, cfg apu.Config, iteration int) (Sample, error) {
+	id := p.Space.IDOf(cfg)
+	if id < 0 {
+		return Sample{}, fmt.Errorf("%w: %v", ErrUnknownConfig, cfg)
+	}
+	return p.Run(k, id, iteration)
+}
+
+// ProfileAllConfigs runs kernel k once at every configuration in the
+// space, fanning out across CPUs. The returned samples are ordered by
+// configuration ID regardless of scheduling.
+func (p *Profiler) ProfileAllConfigs(k kernels.Kernel, iteration int) ([]Sample, error) {
+	n := p.Space.Len()
+	out := make([]Sample, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[id], errs[id] = p.Run(k, id, iteration)
+		}(id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// History returns a copy of all recorded samples in recording order.
+func (p *Profiler) History() []Sample {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Sample(nil), p.history...)
+}
+
+// HistoryFor returns recorded samples for one kernel ID, ordered by
+// (config, iteration) — the per-kernel measurement history the paper
+// exposes to the runtime for dynamic scheduling.
+func (p *Profiler) HistoryFor(kernelID string) []Sample {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []Sample
+	for _, s := range p.history {
+		if s.KernelID == kernelID {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ConfigID != out[j].ConfigID {
+			return out[i].ConfigID < out[j].ConfigID
+		}
+		return out[i].Iteration < out[j].Iteration
+	})
+	return out
+}
+
+// Reset clears the history.
+func (p *Profiler) Reset() {
+	p.mu.Lock()
+	p.history = nil
+	p.mu.Unlock()
+}
+
+// WriteJSON streams the history to w (one JSON document), the paper's
+// "written to disk after the application completes".
+func (p *Profiler) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(p.History())
+}
+
+// ReadJSON loads samples previously written by WriteJSON and appends
+// them to the history.
+func (p *Profiler) ReadJSON(r io.Reader) error {
+	var ss []Sample
+	if err := json.NewDecoder(r).Decode(&ss); err != nil {
+		return fmt.Errorf("profiler: decoding history: %w", err)
+	}
+	p.mu.Lock()
+	p.history = append(p.history, ss...)
+	p.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,36 @@
+package rapl_test
+
+import (
+	"fmt"
+
+	"acsel/internal/apu"
+	"acsel/internal/kernels"
+	"acsel/internal/rapl"
+)
+
+// A RAPL-style controller converging a CPU workload under a 20 W cap:
+// the kernel starts at maximum frequency and the running-average
+// limiter steps P-states down until the window average fits.
+func ExampleConverge() {
+	m := apu.DefaultMachine()
+	w := kernels.Instantiate("CoMD", kernels.Suite()[1].Kernels[0], "Large").Workload
+	start := apu.Config{
+		Device:     apu.CPUDevice,
+		CPUFreqGHz: apu.MaxCPUFreq(),
+		Threads:    4,
+		GPUFreqGHz: apu.MinGPUFreq(),
+	}
+	c, err := rapl.NewController(20, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	trace, final, err := rapl.Converge(m, w, start, c, rapl.PolicyCPU, 60)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("settled on %v after %d iterations\n", final, len(trace))
+	fmt.Printf("steady-state violation: %.1f W\n", rapl.Violation(trace, 20))
+	// Output:
+	// settled on CPU f=1.9GHz t=4 gpu=0.311GHz after 7 iterations
+	// steady-state violation: 0.0 W
+}

@@ -1,0 +1,253 @@
+// Package rapl implements a running-average power limit controller in
+// the style of Intel RAPL (the paper's reference [1] and the basis of
+// its frequency-limiting baselines, §V-A): a sliding time window of
+// power samples, a running average compared against the cap, and
+// hysteretic frequency stepping. The paper's test system lacks RAPL, so
+// — like the paper — we simulate its behaviour; unlike the one-shot
+// steady-state loop in internal/sched, this package models the
+// controller converging over time as kernel iterations execute.
+package rapl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"acsel/internal/apu"
+	"acsel/internal/kernels"
+)
+
+// Window is a sliding-window running average of power samples.
+type Window struct {
+	spanSec float64
+	samples []sample // time-ordered
+}
+
+type sample struct {
+	t float64
+	w float64
+	d float64 // duration the reading covers
+}
+
+// NewWindow creates a running-average window spanning spanSec seconds.
+func NewWindow(spanSec float64) (*Window, error) {
+	if spanSec <= 0 {
+		return nil, errors.New("rapl: non-positive window span")
+	}
+	return &Window{spanSec: spanSec}, nil
+}
+
+// Add records that power w was drawn for duration d ending at time t.
+// Samples must arrive in non-decreasing time order.
+func (win *Window) Add(t, w, d float64) error {
+	if d <= 0 {
+		return errors.New("rapl: non-positive sample duration")
+	}
+	if n := len(win.samples); n > 0 && t < win.samples[n-1].t {
+		return fmt.Errorf("rapl: sample at %v precedes last at %v", t, win.samples[n-1].t)
+	}
+	win.samples = append(win.samples, sample{t: t, w: w, d: d})
+	// Prune samples that fell fully out of the window.
+	cutoff := t - win.spanSec
+	i := 0
+	for i < len(win.samples) && win.samples[i].t < cutoff {
+		i++
+	}
+	win.samples = win.samples[i:]
+	return nil
+}
+
+// Average returns the duration-weighted running average of the samples
+// within the window, or 0 when empty.
+func (win *Window) Average() float64 {
+	var e, d float64
+	for _, s := range win.samples {
+		e += s.w * s.d
+		d += s.d
+	}
+	if d == 0 {
+		return 0
+	}
+	return e / d
+}
+
+// Len returns how many samples are in the window.
+func (win *Window) Len() int { return len(win.samples) }
+
+// Action is the controller's frequency decision.
+type Action int
+
+const (
+	// Hold keeps the current P-state.
+	Hold Action = iota
+	// StepDown lowers the controlled P-state.
+	StepDown
+	// StepUp raises the controlled P-state.
+	StepUp
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case Hold:
+		return "hold"
+	case StepDown:
+		return "step-down"
+	case StepUp:
+		return "step-up"
+	}
+	return fmt.Sprintf("Action(%d)", int(a))
+}
+
+// Controller compares the window's running average against the cap with
+// hysteresis: over the cap → step down; below cap·(1−Hysteresis) →
+// step up (there is headroom); otherwise hold.
+type Controller struct {
+	CapW       float64
+	Hysteresis float64
+	window     *Window
+}
+
+// NewController builds a controller with the given cap and window span.
+// A hysteresis of 0.08 (step up only below 92% of the cap) avoids
+// oscillating between adjacent P-states.
+func NewController(capW, windowSec float64) (*Controller, error) {
+	if capW <= 0 {
+		return nil, errors.New("rapl: non-positive cap")
+	}
+	win, err := NewWindow(windowSec)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{CapW: capW, Hysteresis: 0.08, window: win}, nil
+}
+
+// Observe feeds a power reading (watts over duration d ending at t) and
+// returns the controller's decision.
+func (c *Controller) Observe(t, w, d float64) (Action, error) {
+	if err := c.window.Add(t, w, d); err != nil {
+		return Hold, err
+	}
+	avg := c.window.Average()
+	switch {
+	case avg > c.CapW:
+		return StepDown, nil
+	case avg < c.CapW*(1-c.Hysteresis):
+		return StepUp, nil
+	}
+	return Hold, nil
+}
+
+// Average exposes the current running average.
+func (c *Controller) Average() float64 { return c.window.Average() }
+
+// Policy chooses which knob the controller steps, mirroring the
+// baselines of §V-A.
+type Policy int
+
+const (
+	// PolicyCPU steps CPU P-states (the CPU+FL baseline's knob).
+	PolicyCPU Policy = iota
+	// PolicyGPU steps GPU P-states first, then CPU (GPU+FL's knobs).
+	PolicyGPU
+)
+
+// Step applies an action to a configuration under a policy, returning
+// the new configuration and whether anything changed.
+func Step(cfg apu.Config, a Action, p Policy) (apu.Config, bool) {
+	switch a {
+	case Hold:
+		return cfg, false
+	case StepDown:
+		if p == PolicyGPU && cfg.Device == apu.GPUDevice {
+			if f, ok := apu.StepDownGPU(cfg.GPUFreqGHz); ok {
+				cfg.GPUFreqGHz = f
+				return cfg, true
+			}
+		}
+		if f, ok := apu.StepDownCPU(cfg.CPUFreqGHz); ok {
+			cfg.CPUFreqGHz = f
+			return cfg, true
+		}
+	case StepUp:
+		// Only the CPU fills headroom: the GPU P-state ratchets down
+		// and never climbs back, matching the paper's GPU+FL ("if there
+		// is power headroom after setting the GPU P-state, we increase
+		// the CPU frequency"). Re-raising the GPU would make the
+		// controller oscillate around the cap.
+		if f, ok := apu.StepUpCPU(cfg.CPUFreqGHz); ok {
+			cfg.CPUFreqGHz = f
+			return cfg, true
+		}
+	}
+	return cfg, false
+}
+
+// TracePoint records one iteration of a converging run.
+type TracePoint struct {
+	Iteration  int
+	Config     apu.Config
+	PowerW     float64
+	RunningAvg float64
+	Action     Action
+}
+
+// Converge simulates a kernel executing iteration after iteration under
+// the controller: each iteration runs at the current configuration, its
+// measured power feeds the window, and the controller's action adjusts
+// the next iteration's P-states. It returns the trace and the final
+// configuration. maxIters bounds the simulation.
+func Converge(m *apu.Machine, w apu.Workload, start apu.Config, c *Controller, p Policy, maxIters int) ([]TracePoint, apu.Config, error) {
+	if maxIters <= 0 {
+		maxIters = 50
+	}
+	cfg := start
+	var trace []TracePoint
+	now := 0.0
+	stable := 0
+	for i := 0; i < maxIters; i++ {
+		rng := kernels.IterationRNG(w.Name+"/rapl", 0, i)
+		e, err := m.RunNoisy(w, cfg, rng)
+		if err != nil {
+			return nil, apu.Config{}, err
+		}
+		now += e.TimeSec
+		act, err := c.Observe(now, e.TotalPowerW(), e.TimeSec)
+		if err != nil {
+			return nil, apu.Config{}, err
+		}
+		trace = append(trace, TracePoint{
+			Iteration: i, Config: cfg, PowerW: e.TotalPowerW(), RunningAvg: c.Average(), Action: act,
+		})
+		next, changed := Step(cfg, act, p)
+		if !changed {
+			stable++
+			if stable >= 3 {
+				break // controller has settled
+			}
+		} else {
+			stable = 0
+		}
+		cfg = next
+	}
+	return trace, cfg, nil
+}
+
+// Violation quantifies by how much a converged run's steady-state power
+// exceeds the cap (0 when compliant), using the mean power of the last
+// few trace points.
+func Violation(trace []TracePoint, capW float64) float64 {
+	if len(trace) == 0 {
+		return 0
+	}
+	n := 3
+	if len(trace) < n {
+		n = len(trace)
+	}
+	var sum float64
+	for _, tp := range trace[len(trace)-n:] {
+		sum += tp.PowerW
+	}
+	avg := sum / float64(n)
+	return math.Max(0, avg-capW)
+}

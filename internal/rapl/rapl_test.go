@@ -1,0 +1,309 @@
+package rapl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"acsel/internal/apu"
+	"acsel/internal/kernels"
+)
+
+func testWorkload() apu.Workload {
+	k := kernels.Instantiate("CoMD", kernels.Suite()[1].Kernels[0], "Large")
+	return k.Workload
+}
+
+func TestWindowAverage(t *testing.T) {
+	w, err := NewWindow(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Average() != 0 {
+		t.Error("empty window average should be 0")
+	}
+	if err := w.Add(0.1, 10, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(0.2, 30, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Average(); math.Abs(got-20) > 1e-12 {
+		t.Errorf("average = %v, want 20", got)
+	}
+}
+
+func TestWindowWeightsByDuration(t *testing.T) {
+	w, _ := NewWindow(10)
+	_ = w.Add(1, 10, 3) // 10 W for 3 s
+	_ = w.Add(2, 40, 1) // 40 W for 1 s
+	want := (10*3 + 40*1) / 4.0
+	if got := w.Average(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("average = %v, want %v", got, want)
+	}
+}
+
+func TestWindowPrunesOldSamples(t *testing.T) {
+	w, _ := NewWindow(1.0)
+	_ = w.Add(0.0, 100, 0.1)
+	_ = w.Add(5.0, 10, 0.1) // first sample is now far outside the window
+	if w.Len() != 1 {
+		t.Errorf("window retained %d samples", w.Len())
+	}
+	if got := w.Average(); math.Abs(got-10) > 1e-12 {
+		t.Errorf("average = %v, want 10", got)
+	}
+}
+
+func TestWindowValidation(t *testing.T) {
+	if _, err := NewWindow(0); err == nil {
+		t.Error("zero span accepted")
+	}
+	w, _ := NewWindow(1)
+	if err := w.Add(1, 10, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+	_ = w.Add(2, 10, 0.1)
+	if err := w.Add(1, 10, 0.1); err == nil {
+		t.Error("time went backwards and was accepted")
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if Hold.String() != "hold" || StepDown.String() != "step-down" || StepUp.String() != "step-up" {
+		t.Fatal("action strings")
+	}
+	if Action(7).String() == "" {
+		t.Fatal("unknown action should render")
+	}
+}
+
+func TestControllerDecisions(t *testing.T) {
+	c, err := NewController(20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Over the cap → step down.
+	act, err := c.Observe(0.1, 30, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act != StepDown {
+		t.Errorf("act = %v, want StepDown", act)
+	}
+	// Far below the cap (after the window refills) → step up.
+	c2, _ := NewController(20, 1)
+	act, _ = c2.Observe(0.1, 10, 0.1)
+	if act != StepUp {
+		t.Errorf("act = %v, want StepUp", act)
+	}
+	// Within the hysteresis band → hold.
+	c3, _ := NewController(20, 1)
+	act, _ = c3.Observe(0.1, 19.5, 0.1)
+	if act != Hold {
+		t.Errorf("act = %v, want Hold", act)
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	if _, err := NewController(0, 1); err == nil {
+		t.Error("zero cap accepted")
+	}
+	if _, err := NewController(20, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+	c, _ := NewController(20, 1)
+	if _, err := c.Observe(1, 10, -1); err == nil {
+		t.Error("bad sample accepted")
+	}
+}
+
+func TestStepPolicies(t *testing.T) {
+	gpuCfg := apu.Config{Device: apu.GPUDevice, CPUFreqGHz: 2.4, Threads: 1, GPUFreqGHz: 0.819}
+	// PolicyGPU steps the GPU first.
+	next, changed := Step(gpuCfg, StepDown, PolicyGPU)
+	if !changed || next.GPUFreqGHz != 0.649 || next.CPUFreqGHz != 2.4 {
+		t.Errorf("Step = %v", next)
+	}
+	// At the GPU floor it falls through to the CPU.
+	floor := gpuCfg
+	floor.GPUFreqGHz = apu.MinGPUFreq()
+	next, changed = Step(floor, StepDown, PolicyGPU)
+	if !changed || next.CPUFreqGHz != 1.9 {
+		t.Errorf("Step at GPU floor = %v", next)
+	}
+	// PolicyCPU never touches the GPU.
+	next, changed = Step(gpuCfg, StepDown, PolicyCPU)
+	if !changed || next.GPUFreqGHz != 0.819 || next.CPUFreqGHz != 1.9 {
+		t.Errorf("PolicyCPU step = %v", next)
+	}
+	// Hold changes nothing.
+	if _, changed := Step(gpuCfg, Hold, PolicyGPU); changed {
+		t.Error("Hold changed the config")
+	}
+	// StepUp raises CPU first.
+	next, changed = Step(gpuCfg, StepUp, PolicyGPU)
+	if !changed || next.CPUFreqGHz != 2.8 {
+		t.Errorf("StepUp = %v", next)
+	}
+	// Fully pinned config cannot step up.
+	maxed := apu.Config{Device: apu.GPUDevice, CPUFreqGHz: apu.MaxCPUFreq(), Threads: 1, GPUFreqGHz: apu.MaxGPUFreq()}
+	if _, changed := Step(maxed, StepUp, PolicyGPU); changed {
+		t.Error("maxed config stepped up")
+	}
+}
+
+func TestConvergeRespectsCap(t *testing.T) {
+	m := apu.DefaultMachine()
+	w := testWorkload()
+	start := apu.Config{Device: apu.CPUDevice, CPUFreqGHz: apu.MaxCPUFreq(), Threads: 4, GPUFreqGHz: apu.MinGPUFreq()}
+	// Find an achievable cap: power at min frequency plus some margin.
+	eMin, err := m.Run(w, apu.Config{Device: apu.CPUDevice, CPUFreqGHz: apu.MinCPUFreq(), Threads: 4, GPUFreqGHz: apu.MinGPUFreq()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capW := eMin.TotalPowerW() * 1.3
+	c, err := NewController(capW, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, final, err := Converge(m, w, start, c, PolicyCPU, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	if final.CPUFreqGHz >= apu.MaxCPUFreq() {
+		t.Errorf("controller did not step down: final %v", final)
+	}
+	if v := Violation(trace, capW); v > capW*0.1 {
+		t.Errorf("steady state violates cap by %v W", v)
+	}
+}
+
+func TestConvergeStepsUpWhenHeadroom(t *testing.T) {
+	m := apu.DefaultMachine()
+	w := testWorkload()
+	// Start at the floor with a generous cap: the controller should
+	// climb.
+	start := apu.Config{Device: apu.CPUDevice, CPUFreqGHz: apu.MinCPUFreq(), Threads: 4, GPUFreqGHz: apu.MinGPUFreq()}
+	c, _ := NewController(100, 0.5)
+	_, final, err := Converge(m, w, start, c, PolicyCPU, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.CPUFreqGHz != apu.MaxCPUFreq() {
+		t.Errorf("controller left performance on the table: %v", final)
+	}
+}
+
+func TestConvergeGPUPolicy(t *testing.T) {
+	m := apu.DefaultMachine()
+	w := testWorkload()
+	start := apu.Config{Device: apu.GPUDevice, CPUFreqGHz: apu.MinCPUFreq(), Threads: 1, GPUFreqGHz: apu.MaxGPUFreq()}
+	eStart, err := m.Run(w, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capW := eStart.TotalPowerW() * 0.85
+	c, _ := NewController(capW, 0.5)
+	trace, final, err := Converge(m, w, start, c, PolicyGPU, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.GPUFreqGHz >= apu.MaxGPUFreq() && Violation(trace, capW) > 0 {
+		t.Errorf("GPU policy failed to reduce GPU frequency: %v", final)
+	}
+}
+
+func TestConvergeDeterministic(t *testing.T) {
+	m := apu.DefaultMachine()
+	w := testWorkload()
+	start := apu.Config{Device: apu.CPUDevice, CPUFreqGHz: apu.MaxCPUFreq(), Threads: 4, GPUFreqGHz: apu.MinGPUFreq()}
+	run := func() apu.Config {
+		c, _ := NewController(25, 0.5)
+		_, final, err := Converge(m, w, start, c, PolicyCPU, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return final
+	}
+	if run() != run() {
+		t.Error("Converge not deterministic")
+	}
+}
+
+func TestViolationEmptyTrace(t *testing.T) {
+	if Violation(nil, 20) != 0 {
+		t.Error("empty trace violation should be 0")
+	}
+}
+
+func BenchmarkConverge(b *testing.B) {
+	m := apu.DefaultMachine()
+	w := testWorkload()
+	start := apu.Config{Device: apu.CPUDevice, CPUFreqGHz: apu.MaxCPUFreq(), Threads: 4, GPUFreqGHz: apu.MinGPUFreq()}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, _ := NewController(22, 0.5)
+		if _, _, err := Converge(m, w, start, c, PolicyCPU, 60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property (testing/quick): the window average is always bounded by the
+// minimum and maximum sample values it currently holds.
+func TestPropertyWindowAverageBounded(t *testing.T) {
+	f := func(raw [12]float64, span float64) bool {
+		s := math.Mod(math.Abs(span), 5) + 0.1
+		w, err := NewWindow(s)
+		if err != nil {
+			return false
+		}
+		tm := 0.0
+		min, max := math.Inf(1), math.Inf(-1)
+		for i := 0; i < len(raw); i += 2 {
+			p := math.Abs(math.Mod(raw[i], 100))
+			d := math.Abs(math.Mod(raw[i+1], 1)) + 0.01
+			tm += d
+			if err := w.Add(tm, p, d); err != nil {
+				return false
+			}
+		}
+		// Recompute bounds over samples still in the window.
+		min, max = math.Inf(1), math.Inf(-1)
+		for _, sm := range w.samples {
+			if sm.w < min {
+				min = sm.w
+			}
+			if sm.w > max {
+				max = sm.w
+			}
+		}
+		avg := w.Average()
+		return avg >= min-1e-9 && avg <= max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Step never produces an invalid configuration.
+func TestPropertyStepPreservesValidity(t *testing.T) {
+	space := apu.NewSpace()
+	f := func(rawCfg uint32, rawAct uint8, rawPol bool) bool {
+		cfg := space.Configs[int(rawCfg)%space.Len()]
+		act := Action(int(rawAct) % 3)
+		pol := PolicyCPU
+		if rawPol {
+			pol = PolicyGPU
+		}
+		next, _ := Step(cfg, act, pol)
+		return next.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

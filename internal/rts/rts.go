@@ -1,0 +1,377 @@
+// Package rts is the adaptive runtime system the paper's profiling
+// library is "designed to provide a foundation for" (§III-D): it
+// executes an application's kernels iteration by iteration, spends each
+// kernel's first two iterations on the sample configurations (§III-C),
+// classifies the kernel and caches its predicted Pareto frontier, pins
+// the kernel to the best predicted configuration under the current
+// power cap, and thereafter re-walks the cached frontier whenever the
+// cap changes — without re-profiling or re-examining all
+// configurations. An optional feedback limiter steps the pinned
+// configuration's frequency down when measured power exceeds the cap.
+package rts
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"acsel/internal/acpi"
+	"acsel/internal/apu"
+	"acsel/internal/core"
+	"acsel/internal/kernels"
+	"acsel/internal/pareto"
+	"acsel/internal/profiler"
+	"acsel/internal/rapl"
+)
+
+// Phase describes where a kernel is in its adaptation lifecycle.
+type Phase int
+
+const (
+	// PhaseSampleCPU is the first iteration (CPU sample config).
+	PhaseSampleCPU Phase = iota
+	// PhaseSampleGPU is the second iteration (GPU sample config).
+	PhaseSampleGPU
+	// PhasePinned is every subsequent iteration (selected config).
+	PhasePinned
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseSampleCPU:
+		return "sample-cpu"
+	case PhaseSampleGPU:
+		return "sample-gpu"
+	case PhasePinned:
+		return "pinned"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// Options configures the runtime.
+type Options struct {
+	// CapW is the initial node power cap.
+	CapW float64
+	// FL enables the feedback frequency limiter on pinned kernels.
+	FL bool
+	// VarAwareZ, when positive, applies the variance-aware selection
+	// margin (§VI): predicted power + z·σ must fit under the cap.
+	VarAwareZ float64
+}
+
+// Step reports one executed kernel iteration.
+type Step struct {
+	Kernel    string
+	Phase     Phase
+	Config    apu.Config
+	Cluster   int // valid from PhasePinned on; -1 before
+	TimeSec   float64
+	PowerW    float64
+	EnergyJ   float64
+	UnderCap  bool
+	Iteration int
+}
+
+// kernelState tracks one kernel's adaptation.
+type kernelState struct {
+	iter      int
+	cpuSample profiler.Sample
+	gpuSample profiler.Sample
+	cluster   int
+	frontier  *pareto.Frontier
+	preds     []core.Prediction
+	pinned    apu.Config
+	pinnedCap float64 // cap the pin was chosen for
+}
+
+// Runtime executes kernels adaptively.
+type Runtime struct {
+	prof  *profiler.Profiler
+	model *core.Model
+	pm    *acpi.Manager
+	opts  Options
+
+	mu      sync.Mutex
+	capW    float64
+	kernels map[string]*kernelState
+	steps   []Step
+}
+
+// ErrNoModel is returned when constructing a runtime without a model.
+var ErrNoModel = errors.New("rts: nil model")
+
+// New creates a runtime over a trained model.
+func New(model *core.Model, opts Options) (*Runtime, error) {
+	if model == nil {
+		return nil, ErrNoModel
+	}
+	if opts.CapW <= 0 {
+		return nil, errors.New("rts: non-positive power cap")
+	}
+	return &Runtime{
+		prof:    profiler.New(),
+		model:   model,
+		pm:      acpi.NewManager(),
+		opts:    opts,
+		capW:    opts.CapW,
+		kernels: map[string]*kernelState{},
+	}, nil
+}
+
+// Profiler exposes the measurement history (the paper: "a history of
+// performance and power measurements is made accessible to the
+// application or runtime").
+func (rt *Runtime) Profiler() *profiler.Profiler { return rt.prof }
+
+// PStates exposes the ACPI manager, for inspecting DVFS state.
+func (rt *Runtime) PStates() *acpi.Manager { return rt.pm }
+
+// SetCap updates the power cap. Already-pinned kernels re-select from
+// their cached predicted frontiers on their next iteration.
+func (rt *Runtime) SetCap(w float64) error {
+	if w <= 0 {
+		return errors.New("rts: non-positive power cap")
+	}
+	rt.mu.Lock()
+	rt.capW = w
+	rt.mu.Unlock()
+	return nil
+}
+
+// Cap returns the current power cap.
+func (rt *Runtime) Cap() float64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.capW
+}
+
+// RunKernel executes the next iteration of kernel k under the runtime's
+// adaptation policy and returns the step record.
+func (rt *Runtime) RunKernel(k kernels.Kernel) (Step, error) {
+	return rt.RunKernelAt(k, "")
+}
+
+// RunKernelAt is RunKernel with an explicit call-site context: the
+// paper's §VI extension ("the runtime could use call stacks to
+// differentiate between invocations of the same kernel from distinct
+// points in the application"). Distinct call sites adapt independently
+// — each gets its own sampling iterations, classification, and pinned
+// configuration — because the same kernel invoked from different phases
+// often sees different inputs.
+func (rt *Runtime) RunKernelAt(k kernels.Kernel, callsite string) (Step, error) {
+	key := k.ID()
+	if callsite != "" {
+		key += "@" + callsite
+	}
+	rt.mu.Lock()
+	st, ok := rt.kernels[key]
+	if !ok {
+		st = &kernelState{cluster: -1}
+		rt.kernels[key] = st
+	}
+	capW := rt.capW
+	rt.mu.Unlock()
+
+	var step Step
+	switch {
+	case st.iter == 0:
+		s, err := rt.prof.RunConfig(k, apu.SampleConfigCPU(), 0)
+		if err != nil {
+			return Step{}, err
+		}
+		st.cpuSample = s
+		step = rt.record(k, st, PhaseSampleCPU, s, capW)
+	case st.iter == 1:
+		s, err := rt.prof.RunConfig(k, apu.SampleConfigGPU(), 1)
+		if err != nil {
+			return Step{}, err
+		}
+		st.gpuSample = s
+		if err := rt.adapt(st, capW); err != nil {
+			return Step{}, err
+		}
+		step = rt.record(k, st, PhaseSampleGPU, s, capW)
+	default:
+		if st.pinnedCap != capW {
+			// Cap changed: re-walk the cached frontier (no re-profiling).
+			if err := rt.reselect(st, capW); err != nil {
+				return Step{}, err
+			}
+		}
+		if err := rt.pm.Apply(st.pinned); err != nil {
+			return Step{}, err
+		}
+		s, err := rt.prof.RunConfig(k, st.pinned, st.iter)
+		if err != nil {
+			return Step{}, err
+		}
+		if rt.opts.FL && s.TotalPowerW() > capW {
+			// Feedback: step the pinned configuration down for future
+			// iterations (GPU knob first on GPU configs, then CPU).
+			policy := rapl.PolicyCPU
+			if st.pinned.Device == apu.GPUDevice {
+				policy = rapl.PolicyGPU
+			}
+			if next, changed := rapl.Step(st.pinned, rapl.StepDown, policy); changed {
+				st.pinned = next
+			}
+		}
+		step = rt.record(k, st, PhasePinned, s, capW)
+	}
+	st.iter++
+	return step, nil
+}
+
+// adapt classifies the kernel from its two samples, caches predictions
+// and the predicted frontier, and pins the initial configuration.
+func (rt *Runtime) adapt(st *kernelState, capW float64) error {
+	sr := core.SampleRuns{CPU: st.cpuSample, GPU: st.gpuSample}
+	frontier, preds, err := rt.model.PredictedFrontier(sr)
+	if err != nil {
+		return err
+	}
+	cluster, err := rt.model.Classify(sr)
+	if err != nil {
+		return err
+	}
+	st.cluster = cluster
+	st.frontier = frontier
+	st.preds = preds
+	return rt.reselect(st, capW)
+}
+
+// reselect picks the pinned configuration from cached predictions for
+// the current cap.
+func (rt *Runtime) reselect(st *kernelState, capW float64) error {
+	if st.preds == nil {
+		return errors.New("rts: reselect before adaptation")
+	}
+	bestID := -1
+	if rt.opts.VarAwareZ > 0 {
+		best := -1.0
+		for _, p := range st.preds {
+			if p.PowerW+rt.opts.VarAwareZ*p.PowerStd <= capW && p.Perf > best {
+				best, bestID = p.Perf, p.ConfigID
+			}
+		}
+	} else if pt, ok := st.frontier.BestUnderCap(capW); ok {
+		bestID = pt.ID
+	}
+	if bestID < 0 {
+		// Fall back to the minimum predicted power configuration.
+		minW := -1.0
+		for _, p := range st.preds {
+			if minW < 0 || p.PowerW < minW {
+				minW, bestID = p.PowerW, p.ConfigID
+			}
+		}
+	}
+	cfg, err := rt.model.Space.ByID(bestID)
+	if err != nil {
+		return err
+	}
+	st.pinned = cfg
+	st.pinnedCap = capW
+	return nil
+}
+
+func (rt *Runtime) record(k kernels.Kernel, st *kernelState, ph Phase, s profiler.Sample, capW float64) Step {
+	step := Step{
+		Kernel:    k.ID(),
+		Phase:     ph,
+		Config:    s.Config,
+		Cluster:   st.cluster,
+		TimeSec:   s.TimeSec,
+		PowerW:    s.TotalPowerW(),
+		EnergyJ:   s.TotalPowerW() * s.TimeSec,
+		UnderCap:  s.TotalPowerW() <= capW,
+		Iteration: st.iter,
+	}
+	rt.mu.Lock()
+	rt.steps = append(rt.steps, step)
+	rt.mu.Unlock()
+	return step
+}
+
+// Steps returns all executed steps in order.
+func (rt *Runtime) Steps() []Step {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return append([]Step(nil), rt.steps...)
+}
+
+// Summary aggregates a run.
+type Summary struct {
+	Steps        int
+	TimeSec      float64
+	EnergyJ      float64
+	Violations   int
+	PinnedSteps  int
+	SampledSteps int
+}
+
+// Summarize reduces the step history.
+func (rt *Runtime) Summarize() Summary {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var sum Summary
+	for _, s := range rt.steps {
+		sum.Steps++
+		sum.TimeSec += s.TimeSec
+		sum.EnergyJ += s.EnergyJ
+		if !s.UnderCap {
+			sum.Violations++
+		}
+		if s.Phase == PhasePinned {
+			sum.PinnedSteps++
+		} else {
+			sum.SampledSteps++
+		}
+	}
+	return sum
+}
+
+// SelectionFor returns the currently pinned configuration of a kernel
+// (ok=false before its two sample iterations complete). For call-site
+// differentiated kernels, pass "kernelID@callsite".
+func (rt *Runtime) SelectionFor(kernelID string) (apu.Config, int, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	st, ok := rt.kernels[kernelID]
+	if !ok || st.iter < 2 {
+		return apu.Config{}, -1, false
+	}
+	return st.pinned, st.cluster, true
+}
+
+// PredictionsFor returns the cached per-configuration predictions of an
+// adapted kernel (ok=false before adaptation). Cluster-level budget
+// policies consume these to build node utility curves without
+// re-profiling (§I: constraints "passed down through the machine
+// hierarchy").
+func (rt *Runtime) PredictionsFor(key string) ([]core.Prediction, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	st, ok := rt.kernels[key]
+	if !ok || st.preds == nil {
+		return nil, false
+	}
+	return append([]core.Prediction(nil), st.preds...), true
+}
+
+// AdaptedKernels lists the keys (kernel IDs, possibly with call-site
+// suffixes) that have completed adaptation.
+func (rt *Runtime) AdaptedKernels() []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var out []string
+	for key, st := range rt.kernels {
+		if st.preds != nil {
+			out = append(out, key)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

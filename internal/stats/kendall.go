@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrTooFew is returned when a rank correlation is requested for fewer
+// than two paired observations.
+var ErrTooFew = errors.New("stats: need at least two paired observations")
+
+// KendallTau computes the Kendall rank correlation coefficient τ
+// (tau-b, which corrects for ties) between two equal-length rankings.
+// τ = 1 for identical orderings, −1 for exactly reversed orderings.
+// The paper (§III-B, citing Kendall 1938) uses τ between the orders of
+// configurations shared by two kernels' Pareto frontiers.
+func KendallTau(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, errors.New("stats: KendallTau requires equal-length slices")
+	}
+	n := len(x)
+	if n < 2 {
+		return 0, ErrTooFew
+	}
+	var concordant, discordant int
+	var tiesX, tiesY int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := sign(x[j] - x[i])
+			dy := sign(y[j] - y[i])
+			switch {
+			case dx == 0 && dy == 0:
+				// joint tie: contributes to neither denominator term
+			case dx == 0:
+				tiesX++
+			case dy == 0:
+				tiesY++
+			case dx == dy:
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	num := float64(concordant - discordant)
+	n0 := float64(n*(n-1)) / 2
+	// tau-b denominator: sqrt((n0 − tx)(n0 − ty)) where tx/ty count tied
+	// pairs in x/y respectively (joint ties belong to both).
+	jointTies := n0 - float64(concordant+discordant+tiesX+tiesY)
+	denom := math.Sqrt((n0 - float64(tiesX) - jointTies) * (n0 - float64(tiesY) - jointTies))
+	if denom == 0 {
+		// All pairs tied in at least one ranking: orderings carry no
+		// information; define τ = 0 (neutral).
+		return 0, nil
+	}
+	return num / denom, nil
+}
+
+// KendallTauRanks computes τ for two integer rank lists, a convenience
+// for frontier-order comparison where positions are naturally integral.
+func KendallTauRanks(x, y []int) (float64, error) {
+	fx := make([]float64, len(x))
+	fy := make([]float64, len(y))
+	for i := range x {
+		fx[i] = float64(x[i])
+	}
+	for i := range y {
+		fy[i] = float64(y[i])
+	}
+	return KendallTau(fx, fy)
+}
+
+// RankDissimilarity converts a Kendall τ into the dissimilarity used
+// for relational clustering: d = (1 − τ)/2, mapping identical orders to
+// 0 and reversed orders to 1.
+func RankDissimilarity(tau float64) float64 { return (1 - tau) / 2 }
+
+func sign(v float64) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}

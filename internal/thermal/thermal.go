@@ -1,0 +1,161 @@
+// Package thermal models the die temperature that gates opportunistic
+// overclocking (paper §VI: boost engages "only when there is enough
+// thermal headroom; if the chip is too hot, such frequency boosting
+// will not engage"). A first-order RC thermal model — the standard
+// compact model for package-level temperature — integrates power over
+// time; a hysteretic governor decides when boost P-states may engage.
+package thermal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"acsel/internal/apu"
+	"acsel/internal/kernels"
+)
+
+// Model is a first-order RC thermal model:
+//
+//	C · dT/dt = P − (T − Tamb)/R
+//
+// with steady state T∞ = Tamb + P·R and time constant τ = R·C.
+type Model struct {
+	// AmbientC is the ambient (heatsink inlet) temperature, °C.
+	AmbientC float64
+	// ResistanceCPerW is the junction-to-ambient thermal resistance.
+	ResistanceCPerW float64
+	// CapacitanceJPerC is the package thermal capacitance.
+	CapacitanceJPerC float64
+
+	tempC float64
+}
+
+// NewModel returns a Trinity-scale thermal model (0.8 °C/W to ambient,
+// ~3 s time constant) starting at ambient temperature. At these values
+// a sustained ~50 W package lands near the boost trip point and a
+// boosted ~65 W clearly exceeds it, which is the regime the paper's
+// opportunistic-overclocking discussion assumes.
+func NewModel() *Model {
+	m := &Model{AmbientC: 35, ResistanceCPerW: 0.8, CapacitanceJPerC: 4}
+	m.tempC = m.AmbientC
+	return m
+}
+
+// TempC returns the current die temperature.
+func (m *Model) TempC() float64 { return m.tempC }
+
+// Reset returns the die to ambient.
+func (m *Model) Reset() { m.tempC = m.AmbientC }
+
+// ErrBadStep is returned for non-positive integration steps.
+var ErrBadStep = errors.New("thermal: non-positive time step")
+
+// Step integrates the model over dt seconds at constant power p (watts)
+// using the exact solution of the linear ODE, so arbitrarily large
+// steps remain stable.
+func (m *Model) Step(p, dt float64) (float64, error) {
+	if dt <= 0 {
+		return m.tempC, ErrBadStep
+	}
+	if p < 0 {
+		p = 0
+	}
+	tInf := m.AmbientC + p*m.ResistanceCPerW
+	tau := m.ResistanceCPerW * m.CapacitanceJPerC
+	m.tempC = tInf + (m.tempC-tInf)*math.Exp(-dt/tau)
+	return m.tempC, nil
+}
+
+// SteadyStateC returns the equilibrium temperature at constant power.
+func (m *Model) SteadyStateC(p float64) float64 {
+	return m.AmbientC + p*m.ResistanceCPerW
+}
+
+// Governor gates boost P-states on temperature with hysteresis:
+// boost disengages above DisengageC and may re-engage below EngageC.
+type Governor struct {
+	EngageC    float64
+	DisengageC float64
+	boosting   bool
+}
+
+// NewGovernor returns a governor with Trinity-like trip points
+// (disengage at 70 °C, re-engage below 62 °C).
+func NewGovernor() *Governor {
+	return &Governor{EngageC: 62, DisengageC: 70}
+}
+
+// Allow reports whether boost may be active at die temperature t,
+// updating the hysteresis state.
+func (g *Governor) Allow(t float64) bool {
+	if g.boosting {
+		if t >= g.DisengageC {
+			g.boosting = false
+		}
+	} else {
+		if t < g.EngageC {
+			g.boosting = true
+		}
+	}
+	return g.boosting
+}
+
+// Boosting returns the current state without updating it.
+func (g *Governor) Boosting() bool { return g.boosting }
+
+// Trace records one iteration of a boost simulation.
+type Trace struct {
+	Iteration int
+	Boosted   bool
+	FreqGHz   float64
+	PowerW    float64
+	TempC     float64
+	TimeSec   float64
+}
+
+// SimulateBoost runs a kernel repeatedly with opportunistic
+// overclocking: each iteration runs at the boost frequency when the
+// governor allows, otherwise at the configuration's own frequency; die
+// temperature integrates the measured power. It returns the trace and
+// the fraction of iterations that boosted — the quantity the paper's
+// future-work extension trades against thermal limits.
+func SimulateBoost(mach *apu.Machine, w apu.Workload, base apu.Config, boostFreq float64, iters int) ([]Trace, float64, error) {
+	if base.Device != apu.CPUDevice {
+		return nil, 0, errors.New("thermal: boost applies to CPU configurations")
+	}
+	if err := base.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if _, err := apu.CPUVoltage(boostFreq); err != nil {
+		return nil, 0, fmt.Errorf("thermal: boost frequency: %w", err)
+	}
+	if iters <= 0 {
+		iters = 20
+	}
+	tm := NewModel()
+	gov := NewGovernor()
+	var traces []Trace
+	boosted := 0
+	for i := 0; i < iters; i++ {
+		cfg := base
+		allow := gov.Allow(tm.TempC())
+		if allow {
+			cfg.CPUFreqGHz = boostFreq
+			boosted++
+		}
+		rng := kernels.IterationRNG(w.Name+"/boost", 0, i)
+		e, err := mach.RunNoisy(w, cfg, rng)
+		if err != nil {
+			return nil, 0, err
+		}
+		if _, err := tm.Step(e.TotalPowerW(), e.TimeSec); err != nil {
+			return nil, 0, err
+		}
+		traces = append(traces, Trace{
+			Iteration: i, Boosted: allow, FreqGHz: cfg.CPUFreqGHz,
+			PowerW: e.TotalPowerW(), TempC: tm.TempC(), TimeSec: e.TimeSec,
+		})
+	}
+	return traces, float64(boosted) / float64(iters), nil
+}

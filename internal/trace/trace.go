@@ -1,0 +1,110 @@
+// Package trace exports profiling samples, characterization stats, and
+// evaluation cases as CSV — the interchange format for the kind of
+// external statistical analysis the paper performed in R (§IV-B lists
+// R 3.0.1 in the toolchain). Writers are streaming and allocation-light
+// so full-suite exports stay cheap.
+package trace
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+
+	"acsel/internal/core"
+	"acsel/internal/eval"
+	"acsel/internal/profiler"
+)
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+
+// WriteSamplesCSV streams profiler samples: one row per instrumented
+// kernel invocation with identification, configuration, timing, power,
+// and the raw counter values.
+func WriteSamplesCSV(w io.Writer, samples []profiler.Sample) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"kernel_id", "benchmark", "input", "kernel", "config_id",
+		"device", "cpu_ghz", "threads", "gpu_ghz", "iteration",
+		"time_sec", "cpu_power_w", "nbgpu_power_w",
+		"instructions", "l1d_misses", "l2d_misses", "tlb_misses",
+		"cond_branches", "vector_instr", "stalled_cycles", "core_cycles",
+		"ref_cycles", "idle_fpu_cycles", "interrupts", "dram_accesses",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		row := []string{
+			s.KernelID, s.Benchmark, s.Input, s.Kernel, strconv.Itoa(s.ConfigID),
+			s.Config.Device.String(), f(s.Config.CPUFreqGHz), strconv.Itoa(s.Config.Threads),
+			f(s.Config.GPUFreqGHz), strconv.Itoa(s.Iteration),
+			f(s.TimeSec), f(s.CPUPowerW), f(s.NBGPUW),
+			f(s.Counters.Instructions), f(s.Counters.L1DMisses), f(s.Counters.L2DMisses),
+			f(s.Counters.TLBMisses), f(s.Counters.CondBranches), f(s.Counters.VectorInstr),
+			f(s.Counters.StalledCycles), f(s.Counters.CoreCycles), f(s.Counters.RefCycles),
+			f(s.Counters.IdleFPUCycles), f(s.Counters.Interrupts), f(s.Counters.DRAMAccesses),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteProfilesCSV streams characterization summaries: one row per
+// (kernel, configuration) with mean time, performance, and power, and a
+// flag marking Pareto-frontier membership.
+func WriteProfilesCSV(w io.Writer, profiles []*core.KernelProfile) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"kernel_id", "benchmark", "input", "config_id",
+		"mean_time_sec", "mean_perf", "mean_power_w", "mean_cpu_w", "mean_nbgpu_w", "on_frontier",
+	}); err != nil {
+		return err
+	}
+	for _, kp := range profiles {
+		onFront := map[int]bool{}
+		for _, pt := range kp.Frontier.Points() {
+			onFront[pt.ID] = true
+		}
+		for _, st := range kp.Stats {
+			if err := cw.Write([]string{
+				kp.KernelID, kp.Benchmark, kp.Input, strconv.Itoa(st.ConfigID),
+				f(st.MeanTime), f(st.MeanPerf), f(st.MeanPower), f(st.MeanCPUW), f(st.MeanNBW),
+				strconv.FormatBool(onFront[st.ConfigID]),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCasesCSV streams evaluation cases: one row per (kernel, cap,
+// method) with the decision and oracle-relative outcome.
+func WriteCasesCSV(w io.Writer, cases []eval.Case) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"kernel_id", "combo", "method", "cap_w",
+		"config_id", "device", "cpu_ghz", "threads", "gpu_ghz",
+		"true_perf", "true_power_w", "under_limit", "perf_vs_oracle", "power_vs_oracle", "weight",
+	}); err != nil {
+		return err
+	}
+	for _, c := range cases {
+		if err := cw.Write([]string{
+			c.KernelID, c.Combo, c.Method.String(), f(c.CapW),
+			strconv.Itoa(c.Decision.ConfigID), c.Decision.Config.Device.String(),
+			f(c.Decision.Config.CPUFreqGHz), strconv.Itoa(c.Decision.Config.Threads),
+			f(c.Decision.Config.GPUFreqGHz),
+			f(c.Decision.TruePerf), f(c.Decision.TruePower),
+			strconv.FormatBool(c.Under), f(c.PerfRatio), f(c.PowerRatio), f(c.Weight),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

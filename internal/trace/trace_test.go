@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+
+	"acsel/internal/core"
+	"acsel/internal/eval"
+	"acsel/internal/kernels"
+	"acsel/internal/profiler"
+	"acsel/internal/sched"
+)
+
+func sampleData(t *testing.T) (*profiler.Profiler, []*core.KernelProfile) {
+	t.Helper()
+	p := profiler.New()
+	k := kernels.Instantiate("LU", kernels.Suite()[3].Kernels[0], "Small")
+	opts := core.DefaultTrainOptions()
+	opts.Iterations = 1
+	profs, err := core.Characterize(p, []kernels.Kernel{k}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, profs
+}
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestWriteSamplesCSV(t *testing.T) {
+	p, _ := sampleData(t)
+	samples := p.History()
+	var buf bytes.Buffer
+	if err := WriteSamplesCSV(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != len(samples)+1 {
+		t.Fatalf("rows = %d, want %d", len(rows), len(samples)+1)
+	}
+	// Header width equals every row width (csv.Reader enforces, but
+	// verify the first data row parses numerically where expected).
+	timeCol := indexOf(t, rows[0], "time_sec")
+	v, err := strconv.ParseFloat(rows[1][timeCol], 64)
+	if err != nil || v <= 0 {
+		t.Errorf("time_sec cell %q", rows[1][timeCol])
+	}
+	devCol := indexOf(t, rows[0], "device")
+	if rows[1][devCol] != "CPU" && rows[1][devCol] != "GPU" {
+		t.Errorf("device cell %q", rows[1][devCol])
+	}
+}
+
+func TestWriteProfilesCSV(t *testing.T) {
+	_, profs := sampleData(t)
+	var buf bytes.Buffer
+	if err := WriteProfilesCSV(&buf, profs); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	// 1 kernel × 42 configs + header.
+	if len(rows) != 43 {
+		t.Fatalf("rows = %d, want 43", len(rows))
+	}
+	fCol := indexOf(t, rows[0], "on_frontier")
+	frontierRows := 0
+	for _, r := range rows[1:] {
+		if r[fCol] == "true" {
+			frontierRows++
+		}
+	}
+	if frontierRows == 0 || frontierRows == 42 {
+		t.Errorf("frontier rows = %d, expected a proper subset", frontierRows)
+	}
+}
+
+func TestWriteCasesCSV(t *testing.T) {
+	cases := []eval.Case{
+		{
+			KernelID: "A/B/k", Combo: "A B", Method: sched.MethodModelFL, CapW: 20,
+			Under: true, PerfRatio: 0.9, PowerRatio: 0.95, Weight: 0.5,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteCasesCSV(&buf, cases); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	mCol := indexOf(t, rows[0], "method")
+	if rows[1][mCol] != "Model+FL" {
+		t.Errorf("method cell %q", rows[1][mCol])
+	}
+}
+
+func TestEmptyInputsProduceHeaderOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSamplesCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if rows := parseCSV(t, &buf); len(rows) != 1 {
+		t.Errorf("rows = %d", len(rows))
+	}
+	buf.Reset()
+	if err := WriteCasesCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if rows := parseCSV(t, &buf); len(rows) != 1 {
+		t.Errorf("rows = %d", len(rows))
+	}
+	buf.Reset()
+	if err := WriteProfilesCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if rows := parseCSV(t, &buf); len(rows) != 1 {
+		t.Errorf("rows = %d", len(rows))
+	}
+}
+
+func indexOf(t *testing.T, header []string, name string) int {
+	t.Helper()
+	for i, h := range header {
+		if h == name {
+			return i
+		}
+	}
+	t.Fatalf("column %q not found in %v", name, header)
+	return -1
+}
+
+func BenchmarkWriteSamplesCSV(b *testing.B) {
+	p := profiler.New()
+	k := kernels.Instantiate("LU", kernels.Suite()[3].Kernels[0], "Small")
+	if _, err := p.ProfileAllConfigs(k, 0); err != nil {
+		b.Fatal(err)
+	}
+	samples := p.History()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteSamplesCSV(&buf, samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// failWriter errors after n bytes, exercising the writers' error paths.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errFail
+	}
+	if len(p) > f.n {
+		n := f.n
+		f.n = 0
+		return n, errFail
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+var errFail = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "synthetic write failure" }
+
+func TestWritersPropagateErrors(t *testing.T) {
+	p, profs := sampleData(t)
+	samples := p.History()
+	if err := WriteSamplesCSV(&failWriter{n: 10}, samples); err == nil {
+		t.Error("samples writer swallowed the error")
+	}
+	if err := WriteProfilesCSV(&failWriter{n: 10}, profs); err == nil {
+		t.Error("profiles writer swallowed the error")
+	}
+	cases := []eval.Case{{KernelID: "x", Method: sched.MethodModel}}
+	if err := WriteCasesCSV(&failWriter{n: 10}, cases); err == nil {
+		t.Error("cases writer swallowed the error")
+	}
+}

@@ -1,0 +1,293 @@
+// Package tree implements a CART-style classification tree (Breiman et
+// al. 1984, the paper's reference [36]). The model pipeline trains one
+// on performance-counter and power features gathered at the two sample
+// configurations, and uses it online to assign a new kernel to one of
+// the offline clusters. Splits are binary on a single feature
+// (x[f] < threshold), chosen to minimize weighted Gini impurity.
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Options controls tree induction.
+type Options struct {
+	// MaxDepth limits tree depth (root = depth 0). Zero means the
+	// default of 6 — classification must stay O(depth) fast (§IV-C).
+	MaxDepth int
+	// MinLeaf is the minimum number of samples in a leaf. Zero means 1.
+	MinLeaf int
+	// MinGain is the minimum Gini-impurity decrease to accept a split.
+	MinGain float64
+	// FeatureNames optionally labels features for rendering (Fig 3).
+	FeatureNames []string
+}
+
+// Tree is a trained classifier.
+type Tree struct {
+	root     *node
+	nClasses int
+	nFeats   int
+	names    []string
+	depth    int
+	leaves   int
+}
+
+type node struct {
+	// Internal node fields.
+	feature   int
+	threshold float64
+	left      *node // x[feature] < threshold
+	right     *node // x[feature] >= threshold
+	// Leaf fields.
+	leaf  bool
+	class int
+	// Diagnostics.
+	n      int
+	counts []int
+}
+
+// ErrNoData is returned when training is attempted with no samples.
+var ErrNoData = errors.New("tree: no training samples")
+
+// Train fits a classification tree on feature rows X with class labels
+// y (labels must be non-negative and dense-ish; the class count is
+// max(y)+1).
+func Train(X [][]float64, y []int, opts Options) (*Tree, error) {
+	if len(X) == 0 || len(y) == 0 {
+		return nil, ErrNoData
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("tree: %d rows but %d labels", len(X), len(y))
+	}
+	nf := len(X[0])
+	nClasses := 0
+	for i, row := range X {
+		if len(row) != nf {
+			return nil, fmt.Errorf("tree: row %d has %d features, want %d", i, len(row), nf)
+		}
+		if y[i] < 0 {
+			return nil, fmt.Errorf("tree: negative label %d at row %d", y[i], i)
+		}
+		if y[i]+1 > nClasses {
+			nClasses = y[i] + 1
+		}
+	}
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 6
+	}
+	if opts.MinLeaf <= 0 {
+		opts.MinLeaf = 1
+	}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{nClasses: nClasses, nFeats: nf, names: opts.FeatureNames}
+	t.root = t.grow(X, y, idx, 0, opts)
+	return t, nil
+}
+
+func (t *Tree) grow(X [][]float64, y []int, idx []int, depth int, opts Options) *node {
+	counts := make([]int, t.nClasses)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	if depth > t.depth {
+		t.depth = depth
+	}
+	nd := &node{n: len(idx), counts: counts, class: argmax(counts)}
+	if depth >= opts.MaxDepth || len(idx) < 2*opts.MinLeaf || pure(counts) {
+		nd.leaf = true
+		t.leaves++
+		return nd
+	}
+
+	// Note: zero-gain splits are permitted (unless MinGain demands
+	// better) — XOR-like label patterns need them to make progress, and
+	// recursion is bounded by MaxDepth and shrinking partitions.
+	bestFeat, bestThresh, bestGain := -1, 0.0, math.Inf(-1)
+	bestBalance := -1
+	parentImp := gini(counts, len(idx))
+	for f := 0; f < t.nFeats; f++ {
+		feat, thresh, gain, balance := bestSplitOnFeature(X, y, idx, f, t.nClasses, parentImp, opts.MinLeaf)
+		if feat < 0 {
+			continue
+		}
+		// Prefer higher gain; among (near-)equal gains prefer the more
+		// balanced split — it preserves depth budget for later splits.
+		if gain > bestGain+1e-12 || (gain > bestGain-1e-12 && balance > bestBalance) {
+			bestFeat, bestThresh, bestGain, bestBalance = feat, thresh, gain, balance
+		}
+	}
+	if bestFeat < 0 || bestGain < opts.MinGain {
+		nd.leaf = true
+		t.leaves++
+		return nd
+	}
+
+	var li, ri []int
+	for _, i := range idx {
+		if X[i][bestFeat] < bestThresh {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	nd.feature = bestFeat
+	nd.threshold = bestThresh
+	nd.left = t.grow(X, y, li, depth+1, opts)
+	nd.right = t.grow(X, y, ri, depth+1, opts)
+	return nd
+}
+
+// bestSplitOnFeature scans candidate thresholds (midpoints between
+// consecutive distinct sorted values) for feature f and returns the
+// split with the largest impurity decrease.
+func bestSplitOnFeature(X [][]float64, y []int, idx []int, f, nClasses int, parentImp float64, minLeaf int) (feat int, thresh, gain float64, balance int) {
+	type pair struct {
+		v float64
+		c int
+	}
+	vals := make([]pair, len(idx))
+	for k, i := range idx {
+		vals[k] = pair{X[i][f], y[i]}
+	}
+	sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+
+	total := len(vals)
+	leftCounts := make([]int, nClasses)
+	rightCounts := make([]int, nClasses)
+	for _, p := range vals {
+		rightCounts[p.c]++
+	}
+	feat, gain, balance = -1, math.Inf(-1), -1
+	for k := 0; k < total-1; k++ {
+		leftCounts[vals[k].c]++
+		rightCounts[vals[k].c]--
+		if vals[k].v == vals[k+1].v {
+			continue // cannot split between equal values
+		}
+		nl, nr := k+1, total-k-1
+		if nl < minLeaf || nr < minLeaf {
+			continue
+		}
+		bal := nl
+		if nr < bal {
+			bal = nr
+		}
+		imp := (float64(nl)*gini(leftCounts, nl) + float64(nr)*gini(rightCounts, nr)) / float64(total)
+		g := parentImp - imp
+		if g > gain+1e-12 || (g > gain-1e-12 && bal > balance) {
+			gain = g
+			feat = f
+			thresh = (vals[k].v + vals[k+1].v) / 2
+			balance = bal
+		}
+	}
+	return feat, thresh, gain, balance
+}
+
+func gini(counts []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	s := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		s -= p * p
+	}
+	return s
+}
+
+func pure(counts []int) bool {
+	nz := 0
+	for _, c := range counts {
+		if c > 0 {
+			nz++
+		}
+	}
+	return nz <= 1
+}
+
+func argmax(counts []int) int {
+	best, bi := math.MinInt, 0
+	for i, c := range counts {
+		if c > best {
+			best, bi = c, i
+		}
+	}
+	return bi
+}
+
+// Classify returns the predicted class for feature vector x. Its cost
+// is O(depth), matching the paper's online-overhead claim.
+func (t *Tree) Classify(x []float64) (int, error) {
+	if len(x) != t.nFeats {
+		return 0, fmt.Errorf("tree: classify with %d features, trained on %d", len(x), t.nFeats)
+	}
+	nd := t.root
+	for !nd.leaf {
+		if x[nd.feature] < nd.threshold {
+			nd = nd.left
+		} else {
+			nd = nd.right
+		}
+	}
+	return nd.class, nil
+}
+
+// Depth returns the maximum depth reached during training.
+func (t *Tree) Depth() int { return t.depth }
+
+// Leaves returns the number of leaf nodes.
+func (t *Tree) Leaves() int { return t.leaves }
+
+// NumClasses returns the number of classes the tree distinguishes.
+func (t *Tree) NumClasses() int { return t.nClasses }
+
+// Accuracy computes the fraction of (X, y) classified correctly.
+func (t *Tree) Accuracy(X [][]float64, y []int) (float64, error) {
+	if len(X) == 0 {
+		return 0, ErrNoData
+	}
+	correct := 0
+	for i, row := range X {
+		c, err := t.Classify(row)
+		if err != nil {
+			return 0, err
+		}
+		if c == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(X)), nil
+}
+
+// Render prints the tree in the indented style of the paper's Figure 3,
+// e.g.  "if L2misses/cyc < 0.0012: → cluster 2".
+func (t *Tree) Render() string {
+	var b strings.Builder
+	t.render(&b, t.root, 0)
+	return b.String()
+}
+
+func (t *Tree) render(b *strings.Builder, nd *node, depth int) {
+	pad := strings.Repeat("  ", depth)
+	if nd.leaf {
+		fmt.Fprintf(b, "%s→ cluster %d  (n=%d)\n", pad, nd.class, nd.n)
+		return
+	}
+	name := fmt.Sprintf("x%d", nd.feature)
+	if nd.feature < len(t.names) && t.names[nd.feature] != "" {
+		name = t.names[nd.feature]
+	}
+	fmt.Fprintf(b, "%sif %s < %.6g:\n", pad, name, nd.threshold)
+	t.render(b, nd.left, depth+1)
+	fmt.Fprintf(b, "%selse:\n", pad)
+	t.render(b, nd.right, depth+1)
+}

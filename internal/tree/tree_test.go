@@ -1,0 +1,319 @@
+package tree
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTrainTrivialSplit(t *testing.T) {
+	// One feature cleanly separates two classes at 0.5.
+	X := [][]float64{{0.1}, {0.2}, {0.3}, {0.7}, {0.8}, {0.9}}
+	y := []int{0, 0, 0, 1, 1, 1}
+	tr, err := Train(X, y, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := tr.Accuracy(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 1 {
+		t.Errorf("accuracy = %v, want 1", acc)
+	}
+	if c, _ := tr.Classify([]float64{0.05}); c != 0 {
+		t.Errorf("Classify(0.05) = %d", c)
+	}
+	if c, _ := tr.Classify([]float64{0.95}); c != 1 {
+		t.Errorf("Classify(0.95) = %d", c)
+	}
+}
+
+func TestTrainXORNeedsDepth2(t *testing.T) {
+	// XOR pattern requires two levels of splits.
+	X := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {0.1, 0.1}, {0.1, 0.9}, {0.9, 0.1}, {0.9, 0.9}}
+	y := []int{0, 1, 1, 0, 0, 1, 1, 0}
+	tr, err := Train(X, y, Options{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := tr.Accuracy(X, y)
+	if acc != 1 {
+		t.Errorf("XOR accuracy = %v, want 1", acc)
+	}
+	if tr.Depth() < 2 {
+		t.Errorf("XOR solved at depth %d, expected >=2", tr.Depth())
+	}
+}
+
+func TestTrainMultiClass(t *testing.T) {
+	// Three bands on one feature.
+	var X [][]float64
+	var y []int
+	for i := 0; i < 30; i++ {
+		v := float64(i) / 30
+		X = append(X, []float64{v})
+		switch {
+		case v < 0.33:
+			y = append(y, 0)
+		case v < 0.66:
+			y = append(y, 1)
+		default:
+			y = append(y, 2)
+		}
+	}
+	tr, err := Train(X, y, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumClasses() != 3 {
+		t.Errorf("NumClasses = %d", tr.NumClasses())
+	}
+	acc, _ := tr.Accuracy(X, y)
+	if acc != 1 {
+		t.Errorf("3-class accuracy = %v", acc)
+	}
+}
+
+func TestTrainPureLeafShortCircuits(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []int{0, 0, 0}
+	tr, err := Train(X, y, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() != 0 || tr.Leaves() != 1 {
+		t.Errorf("pure data should give a single leaf: depth=%d leaves=%d", tr.Depth(), tr.Leaves())
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, nil, Options{}); err == nil {
+		t.Fatal("expected ErrNoData")
+	}
+	if _, err := Train([][]float64{{1}}, []int{0, 1}, Options{}); err == nil {
+		t.Fatal("expected length mismatch")
+	}
+	if _, err := Train([][]float64{{1}, {1, 2}}, []int{0, 1}, Options{}); err == nil {
+		t.Fatal("expected ragged row error")
+	}
+	if _, err := Train([][]float64{{1}}, []int{-1}, Options{}); err == nil {
+		t.Fatal("expected negative label error")
+	}
+}
+
+func TestClassifyDimensionError(t *testing.T) {
+	tr, err := Train([][]float64{{0}, {1}}, []int{0, 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Classify([]float64{0, 1}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		X = append(X, []float64{rng.Float64(), rng.Float64(), rng.Float64()})
+		y = append(y, rng.Intn(4))
+	}
+	tr, err := Train(X, y, Options{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() > 3 {
+		t.Errorf("Depth = %d exceeds MaxDepth 3", tr.Depth())
+	}
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	X := [][]float64{{0.1}, {0.9}, {0.2}, {0.8}, {0.3}, {0.7}}
+	y := []int{0, 1, 0, 1, 0, 1}
+	tr, err := Train(X, y, Options{MinLeaf: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With MinLeaf=3 and 6 samples, only the 3/3 split is allowed.
+	acc, _ := tr.Accuracy(X, y)
+	if acc != 1 {
+		t.Errorf("accuracy = %v", acc)
+	}
+}
+
+func TestDuplicateFeatureValuesNoSplit(t *testing.T) {
+	// All feature values identical: no valid threshold exists.
+	X := [][]float64{{5}, {5}, {5}, {5}}
+	y := []int{0, 1, 0, 1}
+	tr, err := Train(X, y, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Leaves() != 1 {
+		t.Errorf("expected a single leaf, got %d", tr.Leaves())
+	}
+}
+
+func TestRenderContainsFeatureNames(t *testing.T) {
+	X := [][]float64{{0.1, 0}, {0.9, 0}, {0.2, 1}, {0.8, 1}}
+	y := []int{0, 1, 0, 1}
+	tr, err := Train(X, y, Options{FeatureNames: []string{"L2miss/cyc", "power_w"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tr.Render()
+	if !strings.Contains(out, "L2miss/cyc") {
+		t.Errorf("Render missing feature name:\n%s", out)
+	}
+	if !strings.Contains(out, "cluster") {
+		t.Errorf("Render missing leaf labels:\n%s", out)
+	}
+}
+
+func TestGeneralizationOnNoisyClusters(t *testing.T) {
+	// Two gaussian-ish clusters in 2D; the tree should generalize to
+	// held-out points with high accuracy.
+	rng := rand.New(rand.NewSource(7))
+	gen := func(n int) ([][]float64, []int) {
+		var X [][]float64
+		var y []int
+		for i := 0; i < n; i++ {
+			c := rng.Intn(2)
+			cx, cy := 0.25, 0.25
+			if c == 1 {
+				cx, cy = 0.75, 0.75
+			}
+			X = append(X, []float64{cx + rng.NormFloat64()*0.08, cy + rng.NormFloat64()*0.08})
+			y = append(y, c)
+		}
+		return X, y
+	}
+	Xtr, ytr := gen(200)
+	Xte, yte := gen(100)
+	tr, err := Train(Xtr, ytr, Options{MaxDepth: 4, MinLeaf: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := tr.Accuracy(Xte, yte)
+	if acc < 0.95 {
+		t.Errorf("held-out accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+// Property: Classify always returns a class in range for random trees
+// and random queries.
+func TestClassifyAlwaysInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + rng.Intn(50)
+		nc := 2 + rng.Intn(4)
+		var X [][]float64
+		var y []int
+		for i := 0; i < n; i++ {
+			X = append(X, []float64{rng.Float64(), rng.Float64()})
+			y = append(y, rng.Intn(nc))
+		}
+		tr, err := Train(X, y, Options{MaxDepth: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 50; q++ {
+			c, err := tr.Classify([]float64{rng.Float64() * 2, rng.Float64() * 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c < 0 || c >= tr.NumClasses() {
+				t.Fatalf("class %d out of range [0,%d)", c, tr.NumClasses())
+			}
+		}
+	}
+}
+
+func TestAccuracyErrOnEmpty(t *testing.T) {
+	tr, err := Train([][]float64{{0}, {1}}, []int{0, 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Accuracy(nil, nil); err == nil {
+		t.Fatal("expected ErrNoData")
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	// Paper claim (§IV-C): classification costs O(depth); this measures
+	// the absolute latency of a single classification.
+	rng := rand.New(rand.NewSource(21))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 36; i++ { // 36 kernels as in the paper
+		X = append(X, []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()})
+		y = append(y, rng.Intn(5))
+	}
+	tr, err := Train(X, y, Options{MaxDepth: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := []float64{0.5, 0.5, 0.5, 0.5, 0.5}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Classify(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	X := [][]float64{{0.1, 0}, {0.9, 0}, {0.2, 1}, {0.8, 1}, {0.15, 0.5}, {0.85, 0.5}}
+	y := []int{0, 1, 0, 1, 0, 1}
+	tr, err := Train(X, y, Options{FeatureNames: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr2 Tree
+	if err := json.Unmarshal(data, &tr2); err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Depth() != tr.Depth() || tr2.Leaves() != tr.Leaves() || tr2.NumClasses() != tr.NumClasses() {
+		t.Fatal("shape lost in round trip")
+	}
+	for _, q := range [][]float64{{0.05, 0.3}, {0.95, 0.7}, {0.5, 0.5}} {
+		c1, err1 := tr.Classify(q)
+		c2, err2 := tr2.Classify(q)
+		if err1 != nil || err2 != nil || c1 != c2 {
+			t.Fatalf("classification differs after round trip at %v", q)
+		}
+	}
+	if tr.Render() != tr2.Render() {
+		t.Error("rendering differs after round trip")
+	}
+}
+
+func TestMarshalUntrained(t *testing.T) {
+	var tr Tree
+	if _, err := json.Marshal(&tr); err == nil {
+		t.Fatal("expected error marshaling untrained tree")
+	}
+}
+
+func TestUnmarshalMalformed(t *testing.T) {
+	var tr Tree
+	if err := json.Unmarshal([]byte(`{"root": null}`), &tr); err == nil {
+		t.Fatal("expected missing-root error")
+	}
+	if err := json.Unmarshal([]byte(`{"root": {"leaf": false}}`), &tr); err == nil {
+		t.Fatal("expected missing-child error")
+	}
+	if err := json.Unmarshal([]byte(`{"root": {"leaf": true, "left": {"leaf": true}}}`), &tr); err == nil {
+		t.Fatal("expected leaf-with-children error")
+	}
+	if err := json.Unmarshal([]byte(`nope`), &tr); err == nil {
+		t.Fatal("expected syntax error")
+	}
+}
