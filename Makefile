@@ -1,8 +1,12 @@
 GO ?= go
 
-.PHONY: all build vet test bench repro csv fuzz clean
+# Packages exercised under the race detector: the concurrency-heavy
+# runtime, scheduler, profiler, and cluster-hierarchy layers.
+RACE_PKGS = ./internal/rts ./internal/sched ./internal/profiler ./internal/hierarchy
 
-all: build vet test
+.PHONY: all build vet lint test test-race fmt-check bench repro csv fuzz clean
+
+all: build vet lint test test-race
 
 build:
 	$(GO) build ./...
@@ -10,8 +14,22 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Domain-specific static analysis (internal/lint): float equality in
+# model code, unit-suffix mismatches, unseeded math/rand, dropped
+# errors, sleep-based test synchronization and lock copies.
+lint:
+	$(GO) run ./cmd/acsel-lint ./...
+
 test:
 	$(GO) test ./...
+
+# Race-detector pass over the packages that spawn goroutines.
+test-race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Fail if any file is not gofmt-clean (prints the offenders).
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 # Full microbenchmark + paper-bench sweep (quality metrics attached).
 bench:

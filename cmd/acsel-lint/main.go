@@ -1,0 +1,94 @@
+// Command acsel-lint runs the repository's domain-specific static
+// analyzers (internal/lint) over the module and prints findings as
+// file:line:col: [check] message. It exits 1 when findings remain and
+// 2 on load or usage errors, so `make lint` and CI fail the build on
+// any unsuppressed diagnostic.
+//
+// Usage:
+//
+//	acsel-lint [-checks list] [-list] [packages]
+//
+// Package patterns follow the go tool: ./... (default), ./internal/rts,
+// ./internal/... . Findings are suppressed at the site with
+// //lint:ignore <check> <reason>; see internal/lint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"acsel/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("acsel-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := fs.Bool("list", false, "list available checks and exit")
+	dir := fs.String("C", ".", "module root directory (must contain go.mod)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := lint.ByName(*checks)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	root, err := findModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	diags, err := lint.Run(root, fs.Args(), analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	for _, d := range diags {
+		// Print module-relative paths: stable across machines and CI.
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Fprintln(stdout, d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "acsel-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks upward from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("acsel-lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}

@@ -133,7 +133,7 @@ func (m *Manager) RequestCPU(cu, ps int) error {
 // RequestCPUFreq is RequestCPU by frequency.
 func (m *Manager) RequestCPUFreq(cu int, freqGHz float64) error {
 	for i, p := range apu.CPUPStates {
-		if p.FreqGHz == freqGHz {
+		if apu.SameFreq(p.FreqGHz, freqGHz) {
 			return m.RequestCPU(cu, i)
 		}
 	}
@@ -232,7 +232,7 @@ func (m *Manager) Apply(cfg apu.Config) error {
 	}
 	var cpuPS int = -1
 	for i, p := range apu.CPUPStates {
-		if p.FreqGHz == cfg.CPUFreqGHz {
+		if apu.SameFreq(p.FreqGHz, cfg.CPUFreqGHz) {
 			cpuPS = i
 		}
 	}
@@ -242,7 +242,7 @@ func (m *Manager) Apply(cfg apu.Config) error {
 	}
 	var gpuPS int = -1
 	for i, p := range apu.GPUPStates {
-		if p.FreqGHz == cfg.GPUFreqGHz {
+		if apu.SameFreq(p.FreqGHz, cfg.GPUFreqGHz) {
 			gpuPS = i
 		}
 	}

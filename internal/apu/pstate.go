@@ -11,6 +11,8 @@ package apu
 import (
 	"errors"
 	"fmt"
+
+	"acsel/internal/stats"
 )
 
 // Device selects which processor executes a kernel.
@@ -73,18 +75,24 @@ var GPUPStates = []PState{
 // P-state in the relevant table.
 var ErrUnknownPState = errors.New("apu: frequency does not match a P-state")
 
+// SameFreq reports whether two frequencies denote the same P-state.
+// Table lookups tolerate rounding error so a frequency that went
+// through arithmetic (unit conversion, serialization) still matches
+// its table entry instead of silently missing it.
+func SameFreq(a, b float64) bool { return stats.AlmostEqual(a, b) }
+
 // CPUVoltage returns the voltage for a CPU frequency (including boost
 // states). The CPU cores share a voltage plane, so with mixed per-CU
 // P-states the plane voltage is the maximum across active CUs; this
 // package runs all active cores at one P-state, so the lookup is direct.
 func CPUVoltage(freqGHz float64) (float64, error) {
 	for _, p := range CPUPStates {
-		if p.FreqGHz == freqGHz {
+		if SameFreq(p.FreqGHz, freqGHz) {
 			return p.Voltage, nil
 		}
 	}
 	for _, p := range BoostPStates {
-		if p.FreqGHz == freqGHz {
+		if SameFreq(p.FreqGHz, freqGHz) {
 			return p.Voltage, nil
 		}
 	}
@@ -94,7 +102,7 @@ func CPUVoltage(freqGHz float64) (float64, error) {
 // GPUVoltage returns the voltage for a GPU frequency.
 func GPUVoltage(freqGHz float64) (float64, error) {
 	for _, p := range GPUPStates {
-		if p.FreqGHz == freqGHz {
+		if SameFreq(p.FreqGHz, freqGHz) {
 			return p.Voltage, nil
 		}
 	}
@@ -117,7 +125,7 @@ func MaxGPUFreq() float64 { return GPUPStates[len(GPUPStates)-1].FreqGHz }
 // false when already at the minimum. Used by the frequency limiter.
 func StepDownCPU(freqGHz float64) (float64, bool) {
 	for i, p := range CPUPStates {
-		if p.FreqGHz == freqGHz {
+		if SameFreq(p.FreqGHz, freqGHz) {
 			if i == 0 {
 				return freqGHz, false
 			}
@@ -126,7 +134,7 @@ func StepDownCPU(freqGHz float64) (float64, bool) {
 	}
 	// Boost states step down into the top regular state.
 	for i, p := range BoostPStates {
-		if p.FreqGHz == freqGHz {
+		if SameFreq(p.FreqGHz, freqGHz) {
 			if i == 0 {
 				return MaxCPUFreq(), true
 			}
@@ -141,7 +149,7 @@ func StepDownCPU(freqGHz float64) (float64, bool) {
 // via TryBoost).
 func StepUpCPU(freqGHz float64) (float64, bool) {
 	for i, p := range CPUPStates {
-		if p.FreqGHz == freqGHz {
+		if SameFreq(p.FreqGHz, freqGHz) {
 			if i == len(CPUPStates)-1 {
 				return freqGHz, false
 			}
@@ -155,7 +163,7 @@ func StepUpCPU(freqGHz float64) (float64, bool) {
 // false at the minimum.
 func StepDownGPU(freqGHz float64) (float64, bool) {
 	for i, p := range GPUPStates {
-		if p.FreqGHz == freqGHz {
+		if SameFreq(p.FreqGHz, freqGHz) {
 			if i == 0 {
 				return freqGHz, false
 			}
@@ -169,7 +177,7 @@ func StepDownGPU(freqGHz float64) (float64, bool) {
 // false at the maximum.
 func StepUpGPU(freqGHz float64) (float64, bool) {
 	for i, p := range GPUPStates {
-		if p.FreqGHz == freqGHz {
+		if SameFreq(p.FreqGHz, freqGHz) {
 			if i == len(GPUPStates)-1 {
 				return freqGHz, false
 			}

@@ -66,6 +66,27 @@ func TestPAMDeterministic(t *testing.T) {
 	}
 }
 
+func TestPAMRandInjection(t *testing.T) {
+	m := twoBlobs(12, 7)
+	// An injected seeded stream must reproduce the seed-based API.
+	a, err := PAM(m, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PAMRand(m, 3, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatal("PAMRand(seeded rng) diverges from PAM(seed)")
+		}
+	}
+	if _, err := PAMRand(m, 3, nil); err == nil {
+		t.Fatal("PAMRand accepted a nil rng")
+	}
+}
+
 func TestPAMKEqualsN(t *testing.T) {
 	m := twoBlobs(4, 2)
 	res, err := PAM(m, 4, 1)

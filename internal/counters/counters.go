@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"acsel/internal/apu"
+	"acsel/internal/stats"
 )
 
 // Set is the raw counter readout for one kernel execution.
@@ -95,6 +96,7 @@ func Derive(w apu.Workload, e apu.Execution) Set {
 // counter, modeling sampling skid and multiplexing error.
 func (s Set) Noisy(rng *rand.Rand, rel float64) Set {
 	j := func(v float64) float64 {
+		//lint:ignore floatcmp exact-zero fast path: 0 × jitter is 0, and near-zero counters must still jitter
 		if v == 0 || rel <= 0 {
 			return v
 		}
@@ -137,7 +139,7 @@ type Normalized struct {
 // zero metrics rather than NaN.
 func (s Set) Normalize() Normalized {
 	div := func(a, b float64) float64 {
-		if b == 0 {
+		if stats.AlmostZero(b) {
 			return 0
 		}
 		return a / b

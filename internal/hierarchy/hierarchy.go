@@ -19,6 +19,7 @@ import (
 
 	"acsel/internal/kernels"
 	"acsel/internal/rts"
+	"acsel/internal/stats"
 )
 
 // Policy selects the budget divider.
@@ -244,10 +245,13 @@ func nodeUtilityCurve(node *Node) func(float64) float64 {
 		if !ok {
 			continue
 		}
-		kp := kernelPreds{weight: shareOf[key]}
-		if kp.weight == 0 {
-			kp.weight = 1.0 / float64(len(node.App))
+		// A kernel absent from the app mix (or with a vanishing share)
+		// falls back to an equal share.
+		weight, known := shareOf[key]
+		if !known || stats.AlmostZero(weight) {
+			weight = 1.0 / float64(len(node.App))
 		}
+		kp := kernelPreds{weight: weight}
 		for _, p := range preds {
 			kp.perf = append(kp.perf, p.Perf)
 			kp.power = append(kp.power, p.PowerW)

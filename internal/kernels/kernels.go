@@ -387,8 +387,8 @@ func ComboKernelCount() int {
 func identityRNG(parts ...string) *rand.Rand {
 	h := fnv.New64a()
 	for _, p := range parts {
-		h.Write([]byte(p))
-		h.Write([]byte{0})
+		_, _ = h.Write([]byte(p)) // hash.Hash.Write never returns an error
+		_, _ = h.Write([]byte{0})
 	}
 	return rand.New(rand.NewSource(int64(h.Sum64())))
 }
@@ -399,7 +399,7 @@ func identityRNG(parts ...string) *rand.Rand {
 // experiment is reproducible bit-for-bit.
 func IterationRNG(kernelID string, configID, iteration int) *rand.Rand {
 	h := fnv.New64a()
-	h.Write([]byte(kernelID))
+	_, _ = h.Write([]byte(kernelID)) // hash.Hash.Write never returns an error
 	fmt.Fprintf(h, "|%d|%d", configID, iteration)
 	return rand.New(rand.NewSource(int64(h.Sum64())))
 }

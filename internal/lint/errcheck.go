@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerErrCheck flags statements that call a function returning an
+// error and drop the result on the floor. A swallowed error in the
+// profiler or runtime layers turns a failed RAPL read or an apply()
+// rejection into silently-wrong energy numbers, which is worse than a
+// crash. Write `_ = f()` (or better, handle it) to make the drop
+// explicit; tests are exempt.
+var AnalyzerErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "flag call statements whose error result is silently discarded in non-test code",
+	Run:  runErrCheck,
+}
+
+// errCheckSafe lists callees whose returned error is either always nil
+// by contract (strings.Builder, bytes.Buffer writes) or conventionally
+// ignored (fmt terminal printing). Entries are "pkgpath.Func" for
+// package functions and "pkgpath.Type.Method" for methods.
+var errCheckSafe = map[string]bool{
+	"fmt.Print":                   true,
+	"fmt.Printf":                  true,
+	"fmt.Println":                 true,
+	"fmt.Fprint":                  true,
+	"fmt.Fprintf":                 true,
+	"fmt.Fprintln":                true,
+	"strings.Builder.Write":       true,
+	"strings.Builder.WriteString": true,
+	"strings.Builder.WriteByte":   true,
+	"strings.Builder.WriteRune":   true,
+	"bytes.Buffer.Write":          true,
+	"bytes.Buffer.WriteString":    true,
+	"bytes.Buffer.WriteByte":      true,
+	"bytes.Buffer.WriteRune":      true,
+}
+
+func runErrCheck(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass, call) || isSafeCallee(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error returned by %s is discarded; handle it or assign to _ explicitly", calleeString(call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's sole or final result is an
+// error value.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch t := t.(type) {
+	case *types.Tuple:
+		if t.Len() == 0 {
+			return false
+		}
+		return isErrorType(t.At(t.Len() - 1).Type())
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isSafeCallee resolves the called object and checks the allowlist.
+func isSafeCallee(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	key := obj.Pkg().Path() + "." + obj.Name()
+	if recv := sig.Recv(); recv != nil {
+		key = obj.Pkg().Path() + "." + receiverTypeName(recv.Type()) + "." + obj.Name()
+	}
+	return errCheckSafe[key]
+}
+
+// receiverTypeName names a method receiver's base type: *strings.Builder
+// and strings.Builder both yield "Builder".
+func receiverTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// calleeString renders the callee for the diagnostic message.
+func calleeString(call *ast.CallExpr) string {
+	return exprString(call.Fun)
+}

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerFloatCmp flags == and != between floating-point expressions.
+// The model/stat pipeline (regression fits, Pareto frontiers, k-medoid
+// costs) accumulates rounding error, so exact equality is almost always
+// a latent bug; compare with stats.AlmostEqual or an explicit epsilon.
+//
+// Deliberate exact comparisons do exist — sort tie-breaks, NaN checks,
+// bit-exact determinism tests — so the check skips the x != x NaN
+// idiom, constant-only comparisons and _test.go files, and anything
+// else can be suppressed with //lint:ignore floatcmp <reason>.
+var AnalyzerFloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag == and != on floating-point expressions in non-test code",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypeOf(be.X)) || !isFloat(pass.TypeOf(be.Y)) {
+				return true
+			}
+			// x != x / x == x is the portable NaN test; leave it alone.
+			if exprString(be.X) == exprString(be.Y) {
+				return true
+			}
+			// Two constants compare exactly at compile time.
+			if isConst(pass, be.X) && isConst(pass, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos, "floating-point %s comparison; use stats.AlmostEqual or an explicit epsilon", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerGlobalRand forbids the top-level math/rand functions
+// (rand.Intn, rand.Float64, rand.Perm, rand.Shuffle, ...) outside
+// tests. The clustering BUILD phase and CART training must be
+// bit-reproducible across runs — the paper's model selection hinges on
+// it — so randomness always flows through an injected, explicitly
+// seeded *rand.Rand. Constructors (rand.New, rand.NewSource,
+// rand.NewZipf) are the sanctioned way in and are allowed.
+var AnalyzerGlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid unseeded top-level math/rand functions in non-test code",
+	Run:  runGlobalRand,
+}
+
+// globalRandAllowed lists math/rand package-level functions that do not
+// touch the implicit global source.
+var globalRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runGlobalRand(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pn.Imported().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || globalRandAllowed[obj.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "global rand.%s is unseeded and nondeterministic; inject a seeded *rand.Rand", obj.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive. The full form is
+//
+//	//lint:ignore check1[,check2...] reason text
+//
+// and suppresses matching findings on the same line or the line
+// immediately below the comment.
+const ignorePrefix = "//lint:ignore "
+
+// ignoreSet indexes suppression directives by file and line.
+type ignoreSet struct {
+	// byLine maps filename -> line -> set of suppressed check names.
+	byLine map[string]map[int]map[string]bool
+}
+
+// suppresses reports whether a directive covers diagnostic d. A
+// directive on line L covers findings on L (trailing comment) and L+1
+// (comment above the statement).
+func (s ignoreSet) suppresses(d Diagnostic) bool {
+	lines := s.byLine[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if checks := lines[line]; checks != nil && checks[d.Check] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectIgnores scans every comment in the unit for directives.
+// Malformed directives — a missing check list or a missing reason —
+// are returned as diagnostics under the reserved check name "lint", so
+// an unjustified suppression cannot silently disable a check.
+func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagnostic) {
+	set := ignoreSet{byLine: make(map[string]map[int]map[string]bool)}
+	var diags []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, strings.TrimSpace(ignorePrefix)) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, strings.TrimSpace(ignorePrefix))
+				rest = strings.TrimSpace(rest)
+				checks, reason, ok := splitDirective(rest)
+				pos := fset.Position(c.Pos())
+				if !ok {
+					diags = append(diags, Diagnostic{
+						Pos:     pos,
+						Check:   "lint",
+						Message: "malformed ignore directive: want //lint:ignore <check>[,<check>...] <reason>",
+					})
+					continue
+				}
+				_ = reason // the reason is for humans; presence is all we enforce
+				lines := set.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					set.byLine[pos.Filename] = lines
+				}
+				m := lines[pos.Line]
+				if m == nil {
+					m = make(map[string]bool)
+					lines[pos.Line] = m
+				}
+				for _, ch := range checks {
+					m[ch] = true
+				}
+			}
+		}
+	}
+	return set, diags
+}
+
+// splitDirective parses "check1,check2 some reason" into its parts.
+// ok is false when either the check list or the reason is missing.
+func splitDirective(rest string) (checks []string, reason string, ok bool) {
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return nil, "", false
+	}
+	for _, ch := range strings.Split(fields[0], ",") {
+		ch = strings.TrimSpace(ch)
+		if ch == "" {
+			return nil, "", false
+		}
+		checks = append(checks, ch)
+	}
+	return checks, strings.Join(fields[1:], " "), true
+}

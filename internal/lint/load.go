@@ -1,0 +1,277 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Run loads, type-checks and lints the module rooted at root. Patterns
+// follow the go tool's shape: "./..." selects every package, "./dir"
+// one directory, "./dir/..." a subtree. It returns all surviving
+// diagnostics sorted by position. Load or type errors abort the run:
+// analyzers only ever see packages the compiler would accept.
+func Run(root string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := selectDirs(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:    fset,
+		modRoot: root,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*types.Package),
+	}
+
+	var all []Diagnostic
+	for _, dir := range dirs {
+		units, err := ld.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, u := range units {
+			all = append(all, runUnit(fset, u.files, u.pkg, u.info, analyzers)...)
+		}
+	}
+	sortDiagnostics(all)
+	return all, nil
+}
+
+// modulePath reads the module declaration from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("lint: %s is not a module root: %w", root, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module declaration in %s/go.mod", root)
+}
+
+// selectDirs expands go-style package patterns into the set of
+// directories (under root) that contain Go source files.
+func selectDirs(root string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) bool {
+		if !hasGoFiles(dir) {
+			return false
+		}
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+		return true
+	}
+	for _, pat := range patterns {
+		orig := pat
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive, pat = true, rest
+		}
+		if pat == "" || pat == "." {
+			pat = root
+		} else if !filepath.IsAbs(pat) {
+			pat = filepath.Join(root, pat)
+		}
+		pat = filepath.Clean(pat)
+		if !strings.HasPrefix(pat, root) {
+			return nil, fmt.Errorf("lint: pattern escapes module root: %s", pat)
+		}
+		if !recursive {
+			if !add(pat) {
+				return nil, fmt.Errorf("lint: no Go files match pattern %s", orig)
+			}
+			continue
+		}
+		matched := false
+		err := filepath.WalkDir(pat, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if skipDir(d.Name()) && p != pat {
+				return filepath.SkipDir
+			}
+			if add(p) {
+				matched = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !matched {
+			return nil, fmt.Errorf("lint: no Go files match pattern %s", orig)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// skipDir reports whether a directory never contributes packages:
+// VCS metadata, vendored code, fixtures, hidden and underscore dirs.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// unit is one type-checked compilation unit handed to analyzers.
+type unit struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// loader type-checks module packages from source. Imports of sibling
+// module packages resolve recursively through the loader itself (with
+// a cache); everything else — the standard library — goes through the
+// stdlib source importer sharing the same FileSet. This keeps the
+// whole pipeline dependency-free and hermetic: no GOPATH, no go list.
+type loader struct {
+	fset    *token.FileSet
+	modRoot string
+	modPath string
+	std     types.Importer
+	pkgs    map[string]*types.Package
+}
+
+// Import implements types.Importer for dependency resolution. Module
+// packages are checked without test files, matching what an importing
+// package is allowed to see.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path != l.modPath && !strings.HasPrefix(path, l.modPath+"/") {
+		return l.std.Import(path)
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(path, l.modPath+"/")))
+	files, err := l.parseDir(dir, false)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// loadDir parses and type-checks every package rooted in dir: the main
+// package (non-test plus in-package test files) and, when present, the
+// external _test package.
+func (l *loader) loadDir(dir string) ([]unit, error) {
+	importPath := l.importPathFor(dir)
+	files, err := l.parseDir(dir, true)
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string][]*ast.File)
+	var names []string
+	for _, f := range files {
+		name := f.Name.Name
+		if byName[name] == nil {
+			names = append(names, name)
+		}
+		byName[name] = append(byName[name], f)
+	}
+	sort.Strings(names)
+
+	var units []unit
+	for _, name := range names {
+		group := byName[name]
+		path := importPath
+		if strings.HasSuffix(name, "_test") {
+			path += "_test"
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: l}
+		pkg, err := conf.Check(path, l.fset, group, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+		}
+		units = append(units, unit{files: group, pkg: pkg, info: info})
+	}
+	return units, nil
+}
+
+func (l *loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.modRoot, dir)
+	if err != nil || rel == "." {
+		return l.modPath
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel)
+}
+
+// parseDir parses the directory's Go files, optionally including
+// _test.go files, always retaining comments for ignore directives.
+func (l *loader) parseDir(dir string, tests bool) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if !tests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}

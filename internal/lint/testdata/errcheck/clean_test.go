@@ -1,0 +1,8 @@
+// errcheck skips _test.go files: tests drop cleanup errors freely.
+package fixture
+
+import "os"
+
+func testCleanup() {
+	os.Remove("scratch")
+}

@@ -1,0 +1,34 @@
+// Positive cases for the errcheck analyzer.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func apply() error { return errors.New("rejected") }
+
+func pair() (int, error) { return 0, nil }
+
+func drops() {
+	apply()          // dropped sole error
+	pair()           // dropped trailing error
+	os.Remove("tmp") // dropped stdlib error
+}
+
+func explicit() {
+	_ = apply()   // explicit drop: allowed
+	_, _ = pair() // explicit drop: allowed
+	if err := apply(); err != nil {
+		fmt.Println(err)
+	}
+}
+
+func allowlisted() {
+	fmt.Println("terminal printing is conventionally unchecked")
+	var b strings.Builder
+	b.WriteString("never fails by contract")
+	fmt.Print(b.String())
+}

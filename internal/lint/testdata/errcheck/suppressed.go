@@ -1,0 +1,9 @@
+// Suppression cases for the errcheck analyzer.
+package fixture
+
+import "os"
+
+func bestEffortCleanup() {
+	//lint:ignore errcheck best-effort cleanup; the file may already be gone
+	os.Remove("scratch")
+}

@@ -1,0 +1,5 @@
+// floatcmp skips _test.go files: determinism tests legitimately
+// compare floats bit-exactly.
+package fixture
+
+func exactInTest(a, b float64) bool { return a == b }

@@ -1,0 +1,17 @@
+// Positive cases for the floatcmp analyzer.
+package fixture
+
+func equal(a, b float64) bool { return a == b }
+
+func notEqual(a, b float32) bool { return a != b }
+
+func mixedConst(a float64) bool { return a == 0.5 }
+
+// nanIdiom is the portable NaN test and must not be flagged.
+func nanIdiom(x float64) bool { return x != x }
+
+// constFold compares two constants; the compiler decides, not runtime.
+func constFold() bool { return 1.0 == 2.0 }
+
+// ints are not floats.
+func intCmp(a, b int) bool { return a == b }

@@ -1,0 +1,16 @@
+// Suppression cases for the floatcmp analyzer.
+package fixture
+
+func suppressedAbove(a, b float64) bool {
+	//lint:ignore floatcmp sentinel comparison is exact by construction
+	return a == b
+}
+
+func suppressedInline(a, b float64) bool {
+	return a == b //lint:ignore floatcmp deliberate bit-exact check
+}
+
+func wrongCheckName(a, b float64) bool {
+	//lint:ignore units this directive names a different check and does not suppress floatcmp
+	return a == b
+}

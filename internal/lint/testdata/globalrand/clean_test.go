@@ -1,0 +1,9 @@
+// globalrand skips _test.go files: shuffling inputs in a test helper
+// is not a reproducibility hazard for the model pipeline.
+package fixture
+
+import "math/rand"
+
+func shuffleInput(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

@@ -1,0 +1,19 @@
+// Positive cases for the globalrand analyzer.
+package fixture
+
+import "math/rand"
+
+func draw() float64 {
+	rand.Seed(42) // seeding the global source is still global state
+	n := rand.Intn(10)
+	return rand.Float64() * float64(n)
+}
+
+func seeded() float64 {
+	rng := rand.New(rand.NewSource(7)) // constructors are allowed
+	return rng.Float64()               // methods on *rand.Rand are allowed
+}
+
+func typeRef(r *rand.Rand) []int { // referencing the type is allowed
+	return r.Perm(4)
+}

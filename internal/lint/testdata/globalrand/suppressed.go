@@ -1,0 +1,9 @@
+// Suppression cases for the globalrand analyzer.
+package fixture
+
+import "math/rand"
+
+func jitter() float64 {
+	//lint:ignore globalrand backoff jitter does not need reproducibility
+	return rand.Float64()
+}

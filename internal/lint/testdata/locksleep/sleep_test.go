@@ -1,0 +1,25 @@
+// Test-file cases for the locksleep analyzer: sleeping to "wait for
+// the goroutine" is flagged; channel waits are the fix.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+func waitBadly(done chan struct{}) {
+	go func() { close(done) }()
+	time.Sleep(50 * time.Millisecond)
+}
+
+func waitWell(done chan struct{}) {
+	go func() { close(done) }()
+	<-done
+}
+
+func suppressedSleep() {
+	//lint:ignore locksleep deliberate wall-clock pacing to exercise the sampling window
+	time.Sleep(10 * time.Millisecond)
+	var wg sync.WaitGroup
+	wg.Wait()
+}

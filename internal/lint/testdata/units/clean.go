@@ -1,0 +1,9 @@
+// Clean cases for the units analyzer.
+package fixture
+
+func clean(aWatts, bWatts, tSeconds float64) float64 {
+	sum := aWatts + bWatts
+	energy := sum * tSeconds
+	plain := sum + 1.5
+	return energy + plain
+}

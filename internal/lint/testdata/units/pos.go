@@ -1,0 +1,32 @@
+// Positive cases for the units analyzer.
+package fixture
+
+func mismatches(powerWatts, energyJoules, windowSeconds, freqHz float64) float64 {
+	a := powerWatts + energyJoules    // watts + joules
+	b := energyJoules - windowSeconds // joules - seconds
+	ok := windowSeconds < freqHz      // seconds vs hz
+	c := powerWatts * windowSeconds   // conversion: fine
+	d := energyJoules / windowSeconds // conversion: fine
+	e := powerWatts + 3.0             // unit + unknown: fine
+	f := powerWatts - budgetWatts()   // same unit: fine
+	g := freqMHz() + baseHz()         // MHz and Hz share a dimension
+	if ok {
+		return a + b
+	}
+	return c + d + e + f + g
+}
+
+func budgetWatts() float64 { return 95 }
+
+func freqMHz() float64 { return 3700 }
+
+func baseHz() float64 { return 100e6 }
+
+type node struct {
+	CapWatts   float64
+	DrawJoules float64
+}
+
+func fields(n node) bool { return n.CapWatts > n.DrawJoules }
+
+func snake(cap_watts, used_joules float64) float64 { return cap_watts + used_joules }

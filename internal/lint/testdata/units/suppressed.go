@@ -1,0 +1,7 @@
+// Suppression cases for the units analyzer.
+package fixture
+
+func suppressed(budgetWatts, spentJoules float64) float64 {
+	//lint:ignore units both operands are pre-normalized to the same scale here
+	return budgetWatts - spentJoules
+}

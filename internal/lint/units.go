@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+	"unicode"
+)
+
+// AnalyzerUnits flags additive arithmetic and ordered comparisons that
+// mix identifiers carrying conflicting unit suffixes. The codebase
+// encodes physical dimensions in names (budgetWatts, energyJoules,
+// windowSeconds, freqHz); adding watts to joules or comparing seconds
+// against hertz is dimensionally meaningless and has historically been
+// the classic power-modeling bug (power vs. energy confusion).
+// Multiplication and division are conversions between dimensions
+// (watts × seconds = joules) and are therefore never flagged.
+var AnalyzerUnits = &Analyzer{
+	Name: "units",
+	Doc:  "flag +, -, and comparisons mixing Watts/Joules/Seconds/Hz-suffixed identifiers",
+	Run:  runUnits,
+}
+
+// unitSuffixes maps a lowercase name suffix to its canonical dimension.
+// Longer suffixes are matched first so "watts" wins over "s"-like
+// accidents; all matching is done on the final camelCase word.
+var unitSuffixes = map[string]string{
+	"watts":   "watts",
+	"watt":    "watts",
+	"joules":  "joules",
+	"joule":   "joules",
+	"seconds": "seconds",
+	"second":  "seconds",
+	"hz":      "hz",
+	"hertz":   "hz",
+	"khz":     "hz",
+	"mhz":     "hz",
+	"ghz":     "hz",
+}
+
+func runUnits(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.ADD, token.SUB, token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			default:
+				return true
+			}
+			ux, uy := unitOf(be.X), unitOf(be.Y)
+			if ux != "" && uy != "" && ux != uy {
+				pass.Reportf(be.OpPos, "unit mismatch: %s (%s) %s %s (%s)",
+					exprString(be.X), ux, be.Op, exprString(be.Y), uy)
+			}
+			return true
+		})
+	}
+}
+
+// unitOf infers the dimension an expression carries from the trailing
+// camelCase word of its identifier, field or called-function name.
+// Unknown shapes return "" and never participate in a mismatch.
+func unitOf(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return unitOfName(e.Name)
+	case *ast.SelectorExpr:
+		return unitOfName(e.Sel.Name)
+	case *ast.CallExpr:
+		return unitOf(e.Fun)
+	case *ast.ParenExpr:
+		return unitOf(e.X)
+	case *ast.IndexExpr:
+		return unitOf(e.X)
+	case *ast.UnaryExpr:
+		return unitOf(e.X)
+	case *ast.BinaryExpr:
+		// Additive chains propagate their (agreeing) unit upward so
+		// a+b+c is checked pairwise; other operators yield unknown.
+		if e.Op == token.ADD || e.Op == token.SUB {
+			ux, uy := unitOf(e.X), unitOf(e.Y)
+			if ux == uy {
+				return ux
+			}
+		}
+		return ""
+	}
+	return ""
+}
+
+// unitOfName extracts the final camelCase/snake_case word of name and
+// looks it up as a unit suffix: "budgetWatts" → "watts",
+// "energy_joules" → "joules", "idle" → "".
+func unitOfName(name string) string {
+	lower := strings.ToLower(lastWord(name))
+	return unitSuffixes[lower]
+}
+
+// lastWord returns the trailing word of a camelCase or snake_case
+// identifier: "budgetWatts" → "Watts", "freqHz" → "Hz", "cap_watts"
+// → "watts". All-lowercase single words return themselves.
+func lastWord(name string) string {
+	if i := strings.LastIndexByte(name, '_'); i >= 0 {
+		return name[i+1:]
+	}
+	runes := []rune(name)
+	// Walk back over the trailing lowercase run, then over the
+	// uppercase run that starts the word (handles "FreqHz" and "MHz").
+	i := len(runes)
+	for i > 0 && (unicode.IsLower(runes[i-1]) || unicode.IsDigit(runes[i-1])) {
+		i--
+	}
+	for i > 0 && unicode.IsUpper(runes[i-1]) {
+		i--
+	}
+	return string(runes[i:])
+}

@@ -1,0 +1,12 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// exprString renders an expression in compact Go syntax for messages
+// and structural comparisons (e.g. the x != x NaN idiom).
+func exprString(e ast.Expr) string {
+	return types.ExprString(e)
+}

@@ -115,6 +115,7 @@ func Mul(a, b *Dense) (*Dense, error) {
 		arow := a.data[i*a.cols : (i+1)*a.cols]
 		orow := out.data[i*out.cols : (i+1)*out.cols]
 		for k, av := range arow {
+			//lint:ignore floatcmp exact-zero sparsity fast path: only a bit-exact zero contributes nothing
 			if av == 0 {
 				continue
 			}
@@ -160,6 +161,7 @@ func Dot(x, y []float64) float64 {
 func Norm2(x []float64) float64 {
 	scale, ssq := 0.0, 1.0
 	for _, v := range x {
+		//lint:ignore floatcmp exact-zero skip in the scaled-norm recurrence; epsilon would bias the norm
 		if v == 0 {
 			continue
 		}

@@ -62,6 +62,7 @@ func Factor(a *Dense) (*QR, error) {
 		if qr.At(k, k) > 0 {
 			alpha = -alpha
 		}
+		//lint:ignore floatcmp exact zero means the column is already null and gets no reflector
 		if alpha == 0 {
 			tau[k] = 0
 			continue
@@ -144,6 +145,7 @@ func (f *QR) Solve(b []float64) ([]float64, error) {
 	y := make([]float64, f.m)
 	copy(y, b)
 	for k := 0; k < f.n; k++ {
+		//lint:ignore floatcmp tau[k] is set to exactly 0 as the no-reflector sentinel during factorization
 		if f.tau[k] == 0 {
 			continue
 		}

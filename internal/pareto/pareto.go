@@ -51,12 +51,20 @@ func New(points []Point) *Frontier {
 		clean = append(clean, p)
 	}
 	// Sort by power ascending, performance descending for stable sweep.
+	// Ordered comparisons only: a comparator must stay exact and
+	// transitive, so epsilon equality has no place here.
 	sort.Slice(clean, func(i, j int) bool {
-		if clean[i].Power != clean[j].Power {
-			return clean[i].Power < clean[j].Power
+		if clean[i].Power < clean[j].Power {
+			return true
 		}
-		if clean[i].Perf != clean[j].Perf {
-			return clean[i].Perf > clean[j].Perf
+		if clean[j].Power < clean[i].Power {
+			return false
+		}
+		if clean[i].Perf > clean[j].Perf {
+			return true
+		}
+		if clean[j].Perf > clean[i].Perf {
+			return false
 		}
 		return clean[i].ID < clean[j].ID
 	})

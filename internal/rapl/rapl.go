@@ -65,6 +65,7 @@ func (win *Window) Average() float64 {
 		e += s.w * s.d
 		d += s.d
 	}
+	//lint:ignore floatcmp exact guard: total duration is 0 only for an empty or zero-length window
 	if d == 0 {
 		return 0
 	}

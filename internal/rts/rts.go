@@ -23,6 +23,7 @@ import (
 	"acsel/internal/pareto"
 	"acsel/internal/profiler"
 	"acsel/internal/rapl"
+	"acsel/internal/stats"
 )
 
 // Phase describes where a kernel is in its adaptation lifecycle.
@@ -194,7 +195,7 @@ func (rt *Runtime) RunKernelAt(k kernels.Kernel, callsite string) (Step, error) 
 		}
 		step = rt.record(k, st, PhaseSampleGPU, s, capW)
 	default:
-		if st.pinnedCap != capW {
+		if !stats.AlmostEqual(st.pinnedCap, capW) {
 			// Cap changed: re-walk the cached frontier (no re-profiling).
 			if err := rt.reselect(st, capW); err != nil {
 				return Step{}, err

@@ -30,7 +30,7 @@ func WeightedMean(xs, ws []float64) float64 {
 		sw += ws[i]
 		swx += ws[i] * xs[i]
 	}
-	if sw == 0 {
+	if AlmostZero(sw) {
 		return 0
 	}
 	return swx / sw

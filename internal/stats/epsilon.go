@@ -1,0 +1,41 @@
+package stats
+
+import "math"
+
+// DefaultEpsilon is the tolerance used by AlmostEqual and AlmostZero.
+// Model quantities in this codebase (watts, normalized performance,
+// dissimilarities) live within a few orders of magnitude of 1, so a
+// combined absolute/relative tolerance of 1e-9 separates genuine
+// differences from accumulated rounding error.
+const DefaultEpsilon = 1e-9
+
+// AlmostEqual reports whether a and b are equal within DefaultEpsilon,
+// using the larger of an absolute and a magnitude-relative tolerance.
+// NaN is equal to nothing; infinities are equal only to themselves.
+func AlmostEqual(a, b float64) bool {
+	return AlmostEqualEps(a, b, DefaultEpsilon)
+}
+
+// AlmostEqualEps is AlmostEqual with an explicit tolerance.
+func AlmostEqualEps(a, b, eps float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	//lint:ignore floatcmp intentional fast path: exact matches and equal infinities short-circuit the tolerance math
+	if a == b {
+		return true
+	}
+	// A remaining infinity differs from everything else by infinity;
+	// without this the Inf <= eps*Inf comparison below degenerates.
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= eps*math.Max(1, scale)
+}
+
+// AlmostZero reports whether x is within DefaultEpsilon of zero.
+func AlmostZero(x float64) bool {
+	return math.Abs(x) <= DefaultEpsilon
+}

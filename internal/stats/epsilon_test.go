@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAlmostEqual(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{1.0, 1.0, true},
+		{0.0, 0.0, true},
+		{0.1 + 0.2, 0.3, true}, // the classic rounding case
+		{1.0, 1.0 + 1e-12, true},
+		{1e12, 1e12 * (1 + 1e-12), true}, // relative tolerance at scale
+		{1.0, 1.0 + 1e-6, false},
+		{1.0, 2.0, false},
+		{0.0, 1e-12, true},
+		{0.0, 1e-6, false},
+		{math.Inf(1), math.Inf(1), true},
+		{math.Inf(1), math.Inf(-1), false},
+		{math.Inf(1), 1e300, false},
+		{math.NaN(), math.NaN(), false},
+		{math.NaN(), 1.0, false},
+	}
+	for _, c := range cases {
+		if got := AlmostEqual(c.a, c.b); got != c.want {
+			t.Errorf("AlmostEqual(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := AlmostEqual(c.b, c.a); got != c.want {
+			t.Errorf("AlmostEqual(%v, %v) = %v, want %v (not symmetric)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestAlmostEqualEps(t *testing.T) {
+	if !AlmostEqualEps(1.0, 1.05, 0.1) {
+		t.Error("AlmostEqualEps must honor a loose explicit tolerance")
+	}
+	if AlmostEqualEps(1.0, 1.05, 0.01) {
+		t.Error("AlmostEqualEps must honor a tight explicit tolerance")
+	}
+}
+
+func TestAlmostZero(t *testing.T) {
+	for _, x := range []float64{0, 1e-12, -1e-12, DefaultEpsilon} {
+		if !AlmostZero(x) {
+			t.Errorf("AlmostZero(%v) = false, want true", x)
+		}
+	}
+	for _, x := range []float64{1e-6, -1e-6, 1, math.Inf(1), math.NaN()} {
+		if AlmostZero(x) {
+			t.Errorf("AlmostZero(%v) = true, want false", x)
+		}
+	}
+}

@@ -48,7 +48,7 @@ func KendallTau(x, y []float64) (float64, error) {
 	// pairs in x/y respectively (joint ties belong to both).
 	jointTies := n0 - float64(concordant+discordant+tiesX+tiesY)
 	denom := math.Sqrt((n0 - float64(tiesX) - jointTies) * (n0 - float64(tiesY) - jointTies))
-	if denom == 0 {
+	if AlmostZero(denom) {
 		// All pairs tied in at least one ranking: orderings carry no
 		// information; define τ = 0 (neutral).
 		return 0, nil

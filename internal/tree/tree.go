@@ -169,6 +169,7 @@ func bestSplitOnFeature(X [][]float64, y []int, idx []int, f, nClasses int, pare
 	for k := 0; k < total-1; k++ {
 		leftCounts[vals[k].c]++
 		rightCounts[vals[k].c]--
+		//lint:ignore floatcmp CART cannot place a threshold between bit-identical sorted values; exact by construction
 		if vals[k].v == vals[k+1].v {
 			continue // cannot split between equal values
 		}
