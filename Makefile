@@ -4,9 +4,14 @@ GO ?= go
 # runtime, scheduler, profiler, and cluster-hierarchy layers.
 RACE_PKGS = ./internal/rts ./internal/sched ./internal/profiler ./internal/hierarchy
 
-.PHONY: all build vet lint test test-race fmt-check bench repro csv fuzz clean
+# Packages with fault-injection (chaos) suites, run under -race: the
+# deterministic fault scenarios exercise the retry/quarantine/ladder
+# paths that clean tests never reach.
+CHAOS_PKGS = ./internal/rts ./internal/sched ./internal/power ./internal/fault
 
-all: build vet lint test test-race
+.PHONY: all build vet lint test test-race test-chaos fmt-check bench repro csv fuzz clean
+
+all: build vet lint test test-race test-chaos
 
 build:
 	$(GO) build ./...
@@ -26,6 +31,11 @@ test:
 # Race-detector pass over the packages that spawn goroutines.
 test-race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Fault-injection suites under the race detector: every built-in chaos
+# scenario replayed through the runtime, scheduler, and sensor layers.
+test-chaos:
+	$(GO) test -race $(CHAOS_PKGS)
 
 # Fail if any file is not gofmt-clean (prints the offenders).
 fmt-check:

@@ -8,6 +8,7 @@
 //
 //	acsel-app -bench LULESH -input Large -cap 24 -steps 10
 //	acsel-app -bench CoMD -input Small -cap 20 -fl -cap-schedule 30,20,15
+//	acsel-app -bench LULESH -input Large -cap 24 -fault-plan sensor-stuck:7
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"strings"
 
 	"acsel/internal/core"
+	"acsel/internal/fault"
 	"acsel/internal/kernels"
 	"acsel/internal/profiler"
 	"acsel/internal/rts"
@@ -31,15 +33,24 @@ func main() {
 	fl := flag.Bool("fl", false, "enable the feedback frequency limiter (Model+FL)")
 	z := flag.Float64("z", 0, "variance-aware selection margin (0 disables)")
 	capSchedule := flag.String("cap-schedule", "", "comma-separated caps applied at successive timesteps")
+	faultPlan := flag.String("fault-plan", "", "fault scenario to inject, as scenario[:seed] (empty = clean run)")
 	flag.Parse()
 
-	if err := run(*bench, *input, *capW, *steps, *fl, *z, *capSchedule); err != nil {
+	if err := run(*bench, *input, *capW, *steps, *fl, *z, *capSchedule, *faultPlan); err != nil {
 		fmt.Fprintln(os.Stderr, "acsel-app:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, input string, capW float64, steps int, fl bool, z float64, capSchedule string) error {
+func run(bench, input string, capW float64, steps int, fl bool, z float64, capSchedule, faultPlan string) error {
+	var inj *fault.Injector
+	if faultPlan != "" {
+		var err error
+		if inj, err = fault.ParsePlan(faultPlan); err != nil {
+			return err
+		}
+	}
+
 	var caps []float64
 	if capSchedule != "" {
 		for _, tok := range strings.Split(capSchedule, ",") {
@@ -77,13 +88,16 @@ func run(bench, input string, capW float64, steps int, fl bool, z float64, capSc
 		return err
 	}
 
-	runtime, err := rts.New(model, rts.Options{CapW: capW, FL: fl, VarAwareZ: z})
+	runtime, err := rts.New(model, rts.Options{CapW: capW, FL: fl, VarAwareZ: z, Faults: inj})
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("%s %s: %d kernels/timestep, %d timesteps, cap %.0f W (FL=%v)\n",
 		bench, input, len(app), steps, capW, fl)
+	if inj != nil {
+		fmt.Printf("fault plan: %s\n", faultPlan)
+	}
 	for step := 0; step < steps; step++ {
 		if step < len(caps) {
 			if err := runtime.SetCap(caps[step]); err != nil {
@@ -110,6 +124,19 @@ func run(bench, input string, capW float64, steps int, fl bool, z float64, capSc
 	sum := runtime.Summarize()
 	fmt.Printf("\ntotals: %d kernel executions (%d sampling, %d pinned), %.3f s, %.1f J, %d violations\n",
 		sum.Steps, sum.SampledSteps, sum.PinnedSteps, sum.TimeSec, sum.EnergyJ, sum.Violations)
+	if sum.Health != nil {
+		fmt.Printf("faults: %d quarantined, %d sensor-lost, %d apply retries (%d terminal failures), %d demotions, %d recoveries\n",
+			sum.Quarantined, sum.SensorLost, sum.ApplyRetries, sum.ApplyFailures, sum.Demotions, sum.Recoveries)
+		fmt.Println("\nper-kernel health:")
+		for _, k := range app {
+			h, ok := runtime.HealthFor(k.ID())
+			if !ok {
+				continue
+			}
+			fmt.Printf("  %-36s rung %-9s demotions %d recoveries %d quarantined %d dropouts %d divergence %.2f\n",
+				k.Name, h.Rung, h.Demotions, h.Recoveries, h.Quarantined, h.Dropouts, h.Divergence)
+		}
+	}
 
 	fmt.Println("\nfinal per-kernel selections:")
 	for _, k := range app {

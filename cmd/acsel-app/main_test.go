@@ -3,25 +3,34 @@ package main
 import "testing"
 
 func TestAppEndToEnd(t *testing.T) {
-	if err := run("CoMD", "Small", 22, 4, true, 0, "30,22"); err != nil {
+	if err := run("CoMD", "Small", 22, 4, true, 0, "30,22", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestAppVarianceAware(t *testing.T) {
-	if err := run("LU", "Small", 20, 3, false, 1.0, ""); err != nil {
+	if err := run("LU", "Small", 20, 3, false, 1.0, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestAppErrors(t *testing.T) {
-	if err := run("NotABenchmark", "Small", 22, 2, false, 0, ""); err == nil {
+	if err := run("NotABenchmark", "Small", 22, 2, false, 0, "", ""); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
-	if err := run("CoMD", "Medium", 22, 2, false, 0, ""); err == nil {
+	if err := run("CoMD", "Medium", 22, 2, false, 0, "", ""); err == nil {
 		t.Error("unknown input accepted")
 	}
-	if err := run("CoMD", "Small", 22, 2, false, 0, "abc"); err == nil {
+	if err := run("CoMD", "Small", 22, 2, false, 0, "abc", ""); err == nil {
 		t.Error("malformed cap schedule accepted")
+	}
+	if err := run("CoMD", "Small", 22, 2, false, 0, "", "not-a-scenario"); err == nil {
+		t.Error("unknown fault plan accepted")
+	}
+}
+
+func TestAppFaultPlan(t *testing.T) {
+	if err := run("CoMD", "Small", 22, 4, false, 0, "", "blackout:3"); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -9,6 +9,8 @@
 //	acsel-bench -exp table3     # one experiment
 //	acsel-bench -iterations 3   # profiling iterations per config
 //	acsel-bench -list           # list experiment names
+//	acsel-bench -exp chaos      # Table III under every fault scenario
+//	acsel-bench -exp chaos -chaos-scenario sensor-stuck -chaos-seed 7
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"strings"
 
 	"acsel/internal/eval"
+	"acsel/internal/fault"
 	"acsel/internal/kernels"
 	"acsel/internal/trace"
 )
@@ -28,14 +31,17 @@ var experiments = []string{
 	"fig1", "table1", "fig2", "table2", "fig3",
 	"table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 	"clusters", "accuracy", "extensions", "suite", "worst",
+	"chaos",
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run ("+strings.Join(experiments, ", ")+" or all)")
+	exp := flag.String("exp", "all", "experiment to run ("+strings.Join(experiments, ", ")+" or all; chaos only runs when named explicitly)")
 	iters := flag.Int("iterations", 3, "profiling iterations per configuration")
 	k := flag.Int("k", 5, "cluster count")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	csvDir := flag.String("csv-dir", "", "optional directory for CSV exports (profiles and cases)")
+	chaosScenario := flag.String("chaos-scenario", "all", "fault scenario for -exp chaos (a scenario name or all)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault-plan seed for -exp chaos")
 	flag.Parse()
 
 	if *list {
@@ -45,18 +51,21 @@ func main() {
 		return
 	}
 
-	if err := run(*exp, *iters, *k, *csvDir); err != nil {
+	if err := run(*exp, *iters, *k, *csvDir, *chaosScenario, *chaosSeed); err != nil {
 		fmt.Fprintln(os.Stderr, "acsel-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, iters, k int, csvDir string) error {
+func run(exp string, iters, k int, csvDir, chaosScenario string, chaosSeed int64) error {
 	selected := map[string]bool{}
 	if exp == "all" {
 		for _, e := range experiments {
 			selected[e] = true
 		}
+		// Chaos deliberately injects faults; it never rides along with
+		// "all", keeping the default outputs identical to a clean run.
+		delete(selected, "chaos")
 	} else {
 		ok := false
 		for _, e := range experiments {
@@ -165,6 +174,23 @@ func run(exp string, iters, k int, csvDir string) error {
 			return err
 		}
 		fmt.Println(w)
+	}
+	if selected["chaos"] {
+		scenarios := fault.Scenarios()
+		if chaosScenario != "all" {
+			sc, ok := fault.ScenarioByName(chaosScenario)
+			if !ok {
+				return fmt.Errorf("unknown chaos scenario %q", chaosScenario)
+			}
+			scenarios = []fault.Scenario{sc}
+		}
+		fmt.Fprintf(os.Stderr, "re-running the method comparison under %d fault scenario(s), seed %d...\n",
+			len(scenarios), chaosSeed)
+		rep, err := ev.RunChaos(scenarios, chaosSeed, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Report())
 	}
 	if selected["extensions"] {
 		fmt.Fprintln(os.Stderr, "running extension study (4 full evaluations)...")

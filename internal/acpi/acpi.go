@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"acsel/internal/apu"
+	"acsel/internal/fault"
 )
 
 // NumCU is the number of CPU compute units (dual-core modules).
@@ -62,6 +63,14 @@ type Manager struct {
 	gpuState  int        // index into apu.GPUPStates
 	// transitions counts P-state changes, for overhead accounting.
 	transitions int
+	// faults, when non-nil, injects transition failures and delays
+	// (fault.SitePState) into ApplyFor.
+	faults *fault.Injector
+	// failedApplies and delayedApplies count injected transition
+	// faults; extraLatencySec accrues the delay penalty.
+	failedApplies   int
+	delayedApplies  int
+	extraLatencySec float64
 }
 
 // NewManager starts at the lowest CPU and GPU P-states under the
@@ -75,6 +84,20 @@ var ErrBadCU = errors.New("acpi: compute unit index out of range")
 
 // ErrBadPState is returned for out-of-range P-state indices.
 var ErrBadPState = errors.New("acpi: P-state index out of range")
+
+// ErrTransitionFailed is returned when an injected fault aborts a
+// P-state transition before any state changed. The failure is
+// transient: a retry (new attempt ordinal) may succeed, so callers
+// should bound-retry rather than give up.
+var ErrTransitionFailed = errors.New("acpi: P-state transition failed")
+
+// SetFaultInjector wires a fault plan into the transition path. A nil
+// injector restores clean behaviour.
+func (m *Manager) SetFaultInjector(in *fault.Injector) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.faults = in
+}
 
 // SetGovernor switches policy; performance/powersave immediately
 // overwrite all CU requests.
@@ -218,9 +241,57 @@ func (m *Manager) Transitions() int {
 	return m.transitions
 }
 
-// TransitionOverheadSec returns the cumulative DVFS transition cost.
+// TransitionOverheadSec returns the cumulative DVFS transition cost,
+// including the extra latency of injected delayed applies.
 func (m *Manager) TransitionOverheadSec() float64 {
-	return float64(m.Transitions()) * TransitionLatencySec
+	m.mu.Lock()
+	extra := m.extraLatencySec
+	transitions := m.transitions
+	m.mu.Unlock()
+	return float64(transitions)*TransitionLatencySec + extra
+}
+
+// FailedApplies returns how many ApplyFor calls an injected fault
+// aborted (counting each failed attempt).
+func (m *Manager) FailedApplies() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.failedApplies
+}
+
+// DelayedApplies returns how many applies completed late under an
+// injected PStateDelay fault.
+func (m *Manager) DelayedApplies() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.delayedApplies
+}
+
+// ApplyFor is Apply under a fault plan: the transition event is keyed
+// by the caller's identity (kernel key) and an attempt ordinal, so a
+// failed transition can be retried deterministically — the retry is a
+// different event and may succeed. An injected PStateFail aborts the
+// apply with ErrTransitionFailed before any state changes; a
+// PStateDelay lets it complete but books Magnitude× the transition
+// latency into TransitionOverheadSec.
+func (m *Manager) ApplyFor(cfg apu.Config, key string, attempt int) error {
+	m.mu.Lock()
+	faults := m.faults.At(fault.SitePState, key, attempt)
+	for _, f := range faults {
+		if f.Kind == fault.PStateFail {
+			m.failedApplies++
+			m.mu.Unlock()
+			return fmt.Errorf("%w: %s attempt %d", ErrTransitionFailed, key, attempt)
+		}
+	}
+	for _, f := range faults {
+		if f.Kind == fault.PStateDelay {
+			m.delayedApplies++
+			m.extraLatencySec += (f.Magnitude - 1) * TransitionLatencySec
+		}
+	}
+	m.mu.Unlock()
+	return m.Apply(cfg)
 }
 
 // Apply configures the manager to realize an apu.Config: all CUs that

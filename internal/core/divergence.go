@@ -1,0 +1,71 @@
+package core
+
+import "math"
+
+// DivergenceTracker smooths the relative disagreement between the
+// model's predicted power and the measured power of the configuration
+// actually running — the watchdog signal that decides when a runtime
+// should stop trusting its predictions and walk down the degradation
+// ladder. An exponentially weighted moving average keeps one noisy
+// sample from triggering a demotion while letting sustained
+// divergence (sensor drift, misclassification, corrupted counters)
+// surface within a few iterations.
+type DivergenceTracker struct {
+	// Alpha is the EWMA weight of the newest observation; 0 uses
+	// DefaultDivergenceAlpha.
+	Alpha float64
+
+	ewma float64
+	n    int
+}
+
+// DefaultDivergenceAlpha weighs the newest observation: high enough
+// that three consecutive bad readings dominate the average, low
+// enough that one does not.
+const DefaultDivergenceAlpha = 0.5
+
+// Observe feeds one (predicted, measured) watt pair and returns the
+// updated smoothed relative error |measured-predicted|/predicted.
+// Non-finite or non-positive inputs are ignored (the sanity gate
+// quarantines those upstream); the current value is returned.
+func (d *DivergenceTracker) Observe(predictedW, measuredW float64) float64 {
+	if !isUsableW(predictedW) || !isUsableW(measuredW) {
+		return d.ewma
+	}
+	rel := math.Abs(measuredW-predictedW) / predictedW
+	a := d.Alpha
+	if a <= 0 || a > 1 {
+		a = DefaultDivergenceAlpha
+	}
+	if d.n == 0 {
+		d.ewma = rel
+	} else {
+		d.ewma = a*rel + (1-a)*d.ewma
+	}
+	d.n++
+	return d.ewma
+}
+
+// Value returns the current smoothed relative error (0 before any
+// observation).
+func (d *DivergenceTracker) Value() float64 { return d.ewma }
+
+// Samples returns how many pairs have been observed.
+func (d *DivergenceTracker) Samples() int { return d.n }
+
+// Diverged reports whether the smoothed relative error exceeds frac.
+// It is false until at least one pair has been observed.
+func (d *DivergenceTracker) Diverged(frac float64) bool {
+	return d.n > 0 && d.ewma > frac
+}
+
+// Reset clears the tracker (e.g. after re-selection under a new cap,
+// when the old prediction no longer describes the running config).
+func (d *DivergenceTracker) Reset() {
+	d.ewma = 0
+	d.n = 0
+}
+
+func isUsableW(w float64) bool {
+	return !math.IsNaN(w) && !math.IsInf(w, 0) && w > 0
+}

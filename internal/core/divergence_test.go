@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDivergenceTrackerBasics(t *testing.T) {
+	var d DivergenceTracker
+	if d.Value() != 0 || d.Samples() != 0 {
+		t.Fatal("fresh tracker not zero")
+	}
+	if d.Diverged(0) {
+		t.Error("fresh tracker reports divergence")
+	}
+	// First observation seeds the EWMA directly.
+	got := d.Observe(20, 30)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("first rel = %v, want 0.5", got)
+	}
+	if d.Samples() != 1 {
+		t.Errorf("samples = %d", d.Samples())
+	}
+	// Second observation blends with DefaultDivergenceAlpha.
+	got = d.Observe(20, 20) // rel 0
+	want := 0.5 * 0.5
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("second ewma = %v, want %v", got, want)
+	}
+	if !d.Diverged(0.2) || d.Diverged(0.3) {
+		t.Errorf("Diverged thresholds around %v wrong", d.Value())
+	}
+	d.Reset()
+	if d.Value() != 0 || d.Samples() != 0 || d.Diverged(0) {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestDivergenceTrackerIgnoresUnusableInputs(t *testing.T) {
+	var d DivergenceTracker
+	d.Observe(20, 25)
+	before := d.Value()
+	for _, pair := range [][2]float64{
+		{math.NaN(), 20}, {20, math.NaN()},
+		{math.Inf(1), 20}, {20, math.Inf(-1)},
+		{0, 20}, {20, 0}, {-5, 20}, {20, -5},
+	} {
+		if got := d.Observe(pair[0], pair[1]); math.Abs(got-before) > 1e-15 {
+			t.Errorf("Observe(%v, %v) moved ewma to %v", pair[0], pair[1], got)
+		}
+	}
+	if d.Samples() != 1 {
+		t.Errorf("unusable inputs counted: samples = %d", d.Samples())
+	}
+}
+
+func TestDivergenceTrackerCustomAlpha(t *testing.T) {
+	d := DivergenceTracker{Alpha: 0.1}
+	d.Observe(10, 10) // rel 0 seeds ewma at 0
+	d.Observe(10, 20) // rel 1
+	if math.Abs(d.Value()-0.1) > 1e-12 {
+		t.Errorf("alpha 0.1 ewma = %v, want 0.1", d.Value())
+	}
+	// Out-of-range alphas fall back to the default.
+	bad := DivergenceTracker{Alpha: 1.5}
+	bad.Observe(10, 10)
+	bad.Observe(10, 20)
+	if math.Abs(bad.Value()-DefaultDivergenceAlpha) > 1e-12 {
+		t.Errorf("alpha 1.5 ewma = %v, want default blend %v", bad.Value(), DefaultDivergenceAlpha)
+	}
+}
+
+func TestDivergenceSustainedDriftSurfaces(t *testing.T) {
+	// Sustained 50% divergence must cross a 0.35 threshold within a few
+	// iterations despite starting from a healthy history.
+	var d DivergenceTracker
+	for i := 0; i < 10; i++ {
+		d.Observe(20, 20)
+	}
+	steps := 0
+	for !d.Diverged(0.35) {
+		d.Observe(20, 30)
+		steps++
+		if steps > 10 {
+			t.Fatal("sustained divergence never surfaced")
+		}
+	}
+	if steps > 3 {
+		t.Errorf("took %d steps to surface 50%% divergence", steps)
+	}
+}

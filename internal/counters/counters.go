@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"acsel/internal/apu"
+	"acsel/internal/fault"
 	"acsel/internal/stats"
 )
 
@@ -115,6 +116,41 @@ func (s Set) Noisy(rng *rand.Rand, rel float64) Set {
 		IdleFPUCycles: j(s.IdleFPUCycles),
 		Interrupts:    j(s.Interrupts),
 		DRAMAccesses:  j(s.DRAMAccesses),
+	}
+}
+
+// Corrupted returns a copy of s damaged by an injected CounterCorrupt
+// fault (fault.SiteCounter): each counter is independently left
+// intact, zeroed (a multiplexing slot that never scheduled), or
+// scaled by the fault magnitude (a runaway increment). Deriving rng
+// from the event identity makes the corruption replay bit-for-bit.
+func (s Set) Corrupted(f fault.Fault, rng *rand.Rand) Set {
+	if f.Kind != fault.CounterCorrupt || rng == nil {
+		return s
+	}
+	c := func(v float64) float64 {
+		switch r := rng.Float64(); {
+		case r < 0.2:
+			return 0
+		case r < 0.4:
+			return v * f.Magnitude
+		default:
+			return v
+		}
+	}
+	return Set{
+		Instructions:  c(s.Instructions),
+		L1DMisses:     c(s.L1DMisses),
+		L2DMisses:     c(s.L2DMisses),
+		TLBMisses:     c(s.TLBMisses),
+		CondBranches:  c(s.CondBranches),
+		VectorInstr:   c(s.VectorInstr),
+		StalledCycles: c(s.StalledCycles),
+		CoreCycles:    c(s.CoreCycles),
+		RefCycles:     c(s.RefCycles),
+		IdleFPUCycles: c(s.IdleFPUCycles),
+		Interrupts:    c(s.Interrupts),
+		DRAMAccesses:  c(s.DRAMAccesses),
 	}
 }
 

@@ -1,0 +1,177 @@
+// Chaos evaluation (robustness methodology): re-run the Table III
+// method comparison under each deterministic fault scenario and
+// quantify how far each method's cap compliance degrades relative to
+// the clean evaluation — once for a naive sensor consumer that takes
+// every reading at face value, and once for the hardened controller
+// with its sanity gate, redundant reads, and conservative floor.
+//
+// The expensive parts of the clean evaluation (characterization and
+// the leave-one-benchmark-out fold models) are reused verbatim: only
+// the per-cap decision processes re-run under faults, so a full chaos
+// sweep over every built-in scenario costs a small fraction of the
+// clean evaluation.
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"acsel/internal/core"
+	"acsel/internal/fault"
+	"acsel/internal/sched"
+)
+
+// ChaosScenarioResult is one fault scenario's re-evaluation.
+type ChaosScenarioResult struct {
+	Scenario fault.Scenario
+	Seed     int64
+	// Naive and Hardened hold the full re-aggregated evaluations
+	// (cases, per-kernel, per-combo, overall) for the two consumer
+	// postures under this scenario.
+	Naive    *Evaluation
+	Hardened *Evaluation
+}
+
+// ChaosReport is the complete chaos sweep next to its clean baseline.
+type ChaosReport struct {
+	Clean     *Evaluation
+	Seed      int64
+	Scenarios []ChaosScenarioResult
+}
+
+// RunChaos re-evaluates every method under each fault scenario,
+// reusing ev's characterization and fold models. The injection is
+// keyed by (scenario, seed, kernel, cap, method, limiter step), so two
+// calls with the same arguments produce bit-identical reports.
+func (ev *Evaluation) RunChaos(scenarios []fault.Scenario, seed int64, methods []sched.Method) (*ChaosReport, error) {
+	if len(methods) == 0 {
+		methods = sched.Methods()
+	}
+	if len(ev.Profiles) == 0 || len(ev.FoldModels) == 0 {
+		return nil, fmt.Errorf("eval: chaos requires a completed clean evaluation")
+	}
+	rep := &ChaosReport{Clean: ev, Seed: seed}
+	for _, sc := range scenarios {
+		inj := fault.NewInjector(sc, seed)
+		res := ChaosScenarioResult{Scenario: sc, Seed: seed}
+		naive := &Evaluation{}
+		hardened := &Evaluation{}
+		for _, kp := range ev.Profiles {
+			model, ok := ev.FoldModels[kp.Benchmark]
+			if !ok {
+				return nil, fmt.Errorf("eval: no fold model for %s", kp.Benchmark)
+			}
+			runner := &sched.Runner{Space: model.Space, Model: model}
+			nc, hc, err := evaluateKernelChaos(runner, kp, methods, inj)
+			if err != nil {
+				return nil, fmt.Errorf("eval: chaos %s on %s: %w", sc.Name, kp.KernelID, err)
+			}
+			naive.Cases = append(naive.Cases, nc...)
+			hardened.Cases = append(hardened.Cases, hc...)
+		}
+		naive.aggregate(methods)
+		hardened.aggregate(methods)
+		res.Naive = naive
+		res.Hardened = hardened
+		rep.Scenarios = append(rep.Scenarios, res)
+	}
+	return rep, nil
+}
+
+// evaluateKernelChaos mirrors evaluateKernel with sensor-mediated
+// decisions. Each (kernel, cap, method, posture) consumer gets its own
+// reading key, so decision processes draw independent deterministic
+// fault streams.
+func evaluateKernelChaos(r *sched.Runner, kp *core.KernelProfile, methods []sched.Method, inj *fault.Injector) (naive, hardened []Case, err error) {
+	truth := sched.ProfileTruth{Profile: kp}
+	sr := core.SampleRuns{CPU: kp.CPUSample, GPU: kp.GPUSample}
+	combo := comboLabel(kp)
+	for capIdx, pt := range kp.Frontier.Points() {
+		capW := pt.Power
+		oracle := r.Oracle(truth, capW)
+		for _, m := range methods {
+			mk := func(posture string) sched.FaultyReadings {
+				return sched.FaultyReadings{
+					Truth:  truth,
+					Faults: inj,
+					Key:    fmt.Sprintf("%s|c%d|%s|%s", kp.KernelID, capIdx, m, posture),
+				}
+			}
+			nd, derr := r.DecideNaive(m, truth, mk("naive"), sr, capW)
+			if derr != nil {
+				return nil, nil, derr
+			}
+			hd, derr := r.DecideHardened(m, truth, mk("hard"), sr, capW)
+			if derr != nil {
+				return nil, nil, derr
+			}
+			naive = append(naive, chaosCase(kp, combo, m, capW, nd, oracle))
+			hardened = append(hardened, chaosCase(kp, combo, m, capW, hd, oracle))
+		}
+	}
+	return naive, hardened, nil
+}
+
+func chaosCase(kp *core.KernelProfile, combo string, m sched.Method, capW float64, d, oracle sched.Decision) Case {
+	return Case{
+		KernelID:   kp.KernelID,
+		Combo:      combo,
+		Method:     m,
+		CapW:       capW,
+		Decision:   d,
+		Oracle:     oracle,
+		Under:      d.MeetsCap(capW),
+		PerfRatio:  d.TruePerf / oracle.TruePerf,
+		PowerRatio: d.TruePower / oracle.TruePower,
+		Weight:     kp.TimeShare,
+	}
+}
+
+// PctUnderCases returns the unweighted fraction of an evaluation's
+// cases (optionally restricted to one method; pass nil for all) whose
+// decisions met the cap — the acceptance metric of the chaos suite.
+func PctUnderCases(e *Evaluation, m *sched.Method) float64 {
+	total, under := 0, 0
+	for _, c := range e.Cases {
+		if m != nil && c.Method != *m {
+			continue
+		}
+		total++
+		if c.Under {
+			under++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(under) / float64(total)
+}
+
+// Report renders the chaos sweep as a text table: per scenario and
+// method, the weighted under-limit percentage clean, naive, and
+// hardened, with the degradation deltas against clean.
+func (cr *ChaosReport) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos: Table III cap compliance under fault injection (seed %d)\n", cr.Seed)
+	b.WriteString("naive = limiter believes every sensor reading; hardened = sanity gate + redundant reads + conservative floor\n")
+	fmt.Fprintf(&b, "%-16s %-10s %-8s %-8s %-10s %-8s %-10s %-9s\n",
+		"Scenario", "Method", "Clean%", "Naive%", "dNaive", "Hard%", "dHard", "PerfHard%")
+	for _, sres := range cr.Scenarios {
+		for _, m := range sched.Methods() {
+			clean := cr.Clean.Overall[m]
+			n := sres.Naive.Overall[m]
+			h := sres.Hardened.Overall[m]
+			perf := "-"
+			if h.HasUnder {
+				perf = fmt.Sprintf("%.1f", h.UnderPerfRatio*100)
+			}
+			fmt.Fprintf(&b, "%-16s %-10s %-8.1f %-8.1f %-10.1f %-8.1f %-10.1f %-9s\n",
+				sres.Scenario.Name, m,
+				clean.PctUnder*100,
+				n.PctUnder*100, (n.PctUnder-clean.PctUnder)*100,
+				h.PctUnder*100, (h.PctUnder-clean.PctUnder)*100,
+				perf)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,106 @@
+package eval
+
+import (
+	"testing"
+
+	"acsel/internal/fault"
+	"acsel/internal/sched"
+)
+
+func TestChaosReportDeterministic(t *testing.T) {
+	_, ev := fullEval(t)
+	a, err := ev.RunChaos(fault.Scenarios(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ev.RunChaos(fault.Scenarios(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Report() != b.Report() {
+		t.Error("same scenarios+seed produced different chaos reports")
+	}
+	c, err := ev.RunChaos(fault.Scenarios(), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Report() == c.Report() {
+		t.Error("different seed replayed an identical chaos report")
+	}
+}
+
+func TestChaosHardenedMeetsAcceptance(t *testing.T) {
+	// Acceptance criterion: the degraded (hardened) runtime keeps the
+	// hero method under the limit in at least 70% of Table III cases
+	// under every built-in fault scenario.
+	_, ev := fullEval(t)
+	rep, err := ev.RunChaos(fault.Scenarios(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mfl := sched.MethodModelFL
+	for _, sres := range rep.Scenarios {
+		weighted := sres.Hardened.Overall[mfl].PctUnder
+		unweighted := PctUnderCases(sres.Hardened, &mfl)
+		t.Logf("%-16s hardened Model+FL under-limit: weighted %.1f%% unweighted %.1f%%",
+			sres.Scenario.Name, weighted*100, unweighted*100)
+		if weighted < 0.70 {
+			t.Errorf("%s: hardened Model+FL weighted under-limit %.1f%% < 70%%",
+				sres.Scenario.Name, weighted*100)
+		}
+		if unweighted < 0.70 {
+			t.Errorf("%s: hardened Model+FL case under-limit %.1f%% < 70%%",
+				sres.Scenario.Name, unweighted*100)
+		}
+	}
+}
+
+func TestChaosHardenedNoWorseThanNaive(t *testing.T) {
+	// The hardening must actually help: in aggregate, the hardened
+	// posture's cap compliance may not fall meaningfully below the
+	// naive posture's under any scenario, for any FL method.
+	_, ev := fullEval(t)
+	rep, err := ev.RunChaos(fault.Scenarios(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const slack = 0.02
+	for _, sres := range rep.Scenarios {
+		for _, m := range []sched.Method{sched.MethodCPUFL, sched.MethodGPUFL, sched.MethodModelFL} {
+			n := sres.Naive.Overall[m].PctUnder
+			h := sres.Hardened.Overall[m].PctUnder
+			if h < n-slack {
+				t.Errorf("%s %s: hardened %.1f%% under-limit worse than naive %.1f%%",
+					sres.Scenario.Name, m, h*100, n*100)
+			}
+		}
+	}
+}
+
+func TestChaosSensorlessMethodsUnaffected(t *testing.T) {
+	// Oracle and Model never consult the sensor, so their compliance is
+	// identical to clean under every scenario and both postures.
+	_, ev := fullEval(t)
+	rep, err := ev.RunChaos(fault.Scenarios(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sres := range rep.Scenarios {
+		for _, m := range []sched.Method{sched.MethodOracle, sched.MethodModel} {
+			clean := ev.Overall[m].PctUnder
+			if n := sres.Naive.Overall[m].PctUnder; n != clean { //lint:ignore floatcmp sensorless methods must reproduce clean numbers exactly
+				t.Errorf("%s naive %s: %.3f != clean %.3f", sres.Scenario.Name, m, n, clean)
+			}
+			if h := sres.Hardened.Overall[m].PctUnder; h != clean { //lint:ignore floatcmp sensorless methods must reproduce clean numbers exactly
+				t.Errorf("%s hardened %s: %.3f != clean %.3f", sres.Scenario.Name, m, h, clean)
+			}
+		}
+	}
+}
+
+func TestChaosRequiresCompletedEvaluation(t *testing.T) {
+	empty := &Evaluation{}
+	if _, err := empty.RunChaos(fault.Scenarios(), 1, nil); err == nil {
+		t.Error("chaos ran without a clean evaluation")
+	}
+}

@@ -1,0 +1,210 @@
+package fault
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestKindAndSiteStrings(t *testing.T) {
+	kinds := []Kind{SensorDropout, SensorStuck, SensorSpike, SensorDrift,
+		PStateFail, PStateDelay, CounterCorrupt, KernelHang}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d renders %q", int(k), s)
+		}
+		seen[s] = true
+	}
+	if Kind(99).String() == "" || Site(99).String() == "" {
+		t.Error("unknown enum renders empty")
+	}
+	for _, s := range []Site{SiteSMU, SitePState, SiteCounter, SiteKernel} {
+		if s.String() == "" {
+			t.Errorf("site %d renders empty", int(s))
+		}
+	}
+}
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var in *Injector
+	if fs := in.At(SiteSMU, "k|0", 3); fs != nil {
+		t.Errorf("nil injector returned %v", fs)
+	}
+	if in.Active(SiteSMU) {
+		t.Error("nil injector active")
+	}
+	if in.Scenario().Name != "clean" || in.Seed() != 0 || in.String() != "clean:0" {
+		t.Error("nil injector identity")
+	}
+}
+
+func TestAtIsDeterministicAndOrderIndependent(t *testing.T) {
+	sc, ok := ScenarioByName("blackout")
+	if !ok {
+		t.Fatal("no blackout scenario")
+	}
+	a := NewInjector(sc, 42)
+	b := NewInjector(sc, 42)
+	type ev struct {
+		site Site
+		key  string
+		iter int
+	}
+	events := []ev{
+		{SiteSMU, "LULESH/Small/CalcQForElems|3", 0},
+		{SiteSMU, "LULESH/Small/CalcQForElems|3", 1},
+		{SitePState, "LULESH/Small/CalcQForElems", 2},
+		{SiteCounter, "CoMD/Large/ComputeForceLJ|17", 5},
+		{SiteKernel, "SMC/Default/Hypterm|9", 8},
+	}
+	// Query a in order and b in reverse: identical resolutions.
+	got := map[ev][]Fault{}
+	for _, e := range events {
+		got[e] = a.At(e.site, e.key, e.iter)
+	}
+	for i := len(events) - 1; i >= 0; i-- {
+		e := events[i]
+		if !reflect.DeepEqual(b.At(e.site, e.key, e.iter), got[e]) {
+			t.Errorf("event %v resolved differently across call orders", e)
+		}
+	}
+}
+
+func TestSeedChangesSchedule(t *testing.T) {
+	sc, _ := ScenarioByName("sensor-dropout")
+	a := NewInjector(sc, 1)
+	b := NewInjector(sc, 2)
+	same := true
+	for i := 0; i < 200; i++ {
+		fa := a.At(SiteSMU, EventKey("k", i), 0)
+		fb := b.At(SiteSMU, EventKey("k", i), 0)
+		if (fa == nil) != (fb == nil) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical dropout schedules over 200 events")
+	}
+}
+
+func TestRatesApproximateProbability(t *testing.T) {
+	sc, _ := ScenarioByName("sensor-dropout")
+	in := NewInjector(sc, 7)
+	hits := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if len(in.At(SiteSMU, EventKey("kernel", i), 0)) > 0 {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.15 || rate > 0.25 {
+		t.Errorf("dropout rate %.3f, want ~0.20", rate)
+	}
+}
+
+func TestDriftGrowsWithIterationAndSaturates(t *testing.T) {
+	sc := Scenario{Name: "d", Rules: []Rule{{Site: SiteSMU, Kind: SensorDrift, Prob: 1, Magnitude: 0.02}}}
+	in := NewInjector(sc, 1)
+	f1 := in.At(SiteSMU, "k|0", 1)
+	f10 := in.At(SiteSMU, "k|0", 10)
+	f1000 := in.At(SiteSMU, "k|0", 1000)
+	if len(f1) != 1 || len(f10) != 1 || len(f1000) != 1 {
+		t.Fatalf("drift not always injected: %v %v %v", f1, f10, f1000)
+	}
+	if f1[0].Magnitude >= f10[0].Magnitude {
+		t.Errorf("drift did not grow: %v -> %v", f1[0].Magnitude, f10[0].Magnitude)
+	}
+	if f1000[0].Magnitude != MaxDriftFrac {
+		t.Errorf("drift %v not capped at %v", f1000[0].Magnitude, MaxDriftFrac)
+	}
+}
+
+func TestActivePerSite(t *testing.T) {
+	sc, _ := ScenarioByName("pstate-flaky")
+	in := NewInjector(sc, 1)
+	if !in.Active(SitePState) {
+		t.Error("pstate-flaky inactive at SitePState")
+	}
+	if in.Active(SiteCounter) {
+		t.Error("pstate-flaky active at SiteCounter")
+	}
+}
+
+func TestConcurrentAtIsRaceFreeAndStable(t *testing.T) {
+	sc, _ := ScenarioByName("blackout")
+	in := NewInjector(sc, 3)
+	want := in.At(SiteSMU, "k|5", 2)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if !reflect.DeepEqual(in.At(SiteSMU, "k|5", 2), want) {
+					t.Error("concurrent resolution diverged")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestScenarioCatalog(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) < 6 {
+		t.Fatalf("only %d scenarios", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate scenario %q", n)
+		}
+		seen[n] = true
+		sc, ok := ScenarioByName(n)
+		if !ok || sc.Name != n || len(sc.Rules) == 0 || sc.Description == "" {
+			t.Errorf("scenario %q malformed: %+v", n, sc)
+		}
+		for _, r := range sc.Rules {
+			if r.Prob <= 0 || r.Prob > 1 {
+				t.Errorf("scenario %q rule %v has probability %v", n, r.Kind, r.Prob)
+			}
+		}
+	}
+	if _, ok := ScenarioByName("no-such"); ok {
+		t.Error("unknown scenario resolved")
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	in, err := ParsePlan("sensor-stuck:99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Scenario().Name != "sensor-stuck" || in.Seed() != 99 {
+		t.Errorf("parsed %v seed %d", in.Scenario().Name, in.Seed())
+	}
+	if in.String() != "sensor-stuck:99" {
+		t.Errorf("round trip: %s", in)
+	}
+	in, err = ParsePlan("kernel-hang")
+	if err != nil || in.Seed() != 1 {
+		t.Errorf("default seed: %v %v", in, err)
+	}
+	if _, err := ParsePlan("nope:1"); err == nil {
+		t.Error("unknown scenario parsed")
+	}
+	if _, err := ParsePlan("sensor-stuck:abc"); err == nil {
+		t.Error("bad seed parsed")
+	}
+}
+
+func TestEventKey(t *testing.T) {
+	if EventKey("a/b", 7) != "a/b|7" {
+		t.Errorf("EventKey = %q", EventKey("a/b", 7))
+	}
+}

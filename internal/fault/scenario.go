@@ -1,0 +1,103 @@
+package fault
+
+// Scenario is a named fault plan body: the rule set one chaos run
+// injects. Rates and magnitudes follow the failure modes the related
+// work treats as routine in deployment — sensor dropout and noise
+// (arXiv:1710.10325), model-input mismatch (arXiv:2003.08305) — plus
+// the DVFS-transition and hang failures any P-state driver exhibits.
+type Scenario struct {
+	Name        string
+	Description string
+	Rules       []Rule
+}
+
+// Scenarios returns the built-in scenario catalog in presentation
+// order. "clean" (no rules) is deliberately absent: a nil injector is
+// the clean run.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:        "sensor-dropout",
+			Description: "SMU readings intermittently unavailable",
+			Rules: []Rule{
+				{Site: SiteSMU, Kind: SensorDropout, Prob: 0.20},
+			},
+		},
+		{
+			Name:        "sensor-stuck",
+			Description: "SMU latches at a stale low estimate",
+			Rules: []Rule{
+				{Site: SiteSMU, Kind: SensorStuck, Prob: 0.30, Magnitude: 9},
+			},
+		},
+		{
+			Name:        "sensor-spike",
+			Description: "transient implausible over-readings",
+			Rules: []Rule{
+				{Site: SiteSMU, Kind: SensorSpike, Prob: 0.15, Magnitude: 8},
+			},
+		},
+		{
+			Name:        "sensor-drift",
+			Description: "estimator calibration drifts toward under-reporting",
+			Rules: []Rule{
+				{Site: SiteSMU, Kind: SensorDrift, Prob: 0.9, Magnitude: 0.02},
+			},
+		},
+		{
+			Name:        "pstate-flaky",
+			Description: "P-state transitions fail or complete late",
+			Rules: []Rule{
+				{Site: SitePState, Kind: PStateFail, Prob: 0.25},
+				{Site: SitePState, Kind: PStateDelay, Prob: 0.15, Magnitude: 4},
+			},
+		},
+		{
+			Name:        "counter-garbage",
+			Description: "PMU readouts corrupted by multiplexing errors",
+			Rules: []Rule{
+				{Site: SiteCounter, Kind: CounterCorrupt, Prob: 0.35, Magnitude: 50},
+			},
+		},
+		{
+			Name:        "kernel-hang",
+			Description: "iterations occasionally stall for many periods",
+			Rules: []Rule{
+				{Site: SiteKernel, Kind: KernelHang, Prob: 0.05, Magnitude: 20},
+			},
+		},
+		{
+			Name:        "blackout",
+			Description: "every seam degrades at once",
+			Rules: []Rule{
+				{Site: SiteSMU, Kind: SensorDropout, Prob: 0.10},
+				{Site: SiteSMU, Kind: SensorStuck, Prob: 0.10, Magnitude: 9},
+				{Site: SiteSMU, Kind: SensorSpike, Prob: 0.05, Magnitude: 8},
+				{Site: SiteSMU, Kind: SensorDrift, Prob: 0.5, Magnitude: 0.01},
+				{Site: SitePState, Kind: PStateFail, Prob: 0.15},
+				{Site: SitePState, Kind: PStateDelay, Prob: 0.10, Magnitude: 4},
+				{Site: SiteCounter, Kind: CounterCorrupt, Prob: 0.15, Magnitude: 50},
+				{Site: SiteKernel, Kind: KernelHang, Prob: 0.02, Magnitude: 20},
+			},
+		},
+	}
+}
+
+// ScenarioByName resolves a built-in scenario.
+func ScenarioByName(name string) (Scenario, bool) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// ScenarioNames lists the built-in scenario names in catalog order.
+func ScenarioNames() []string {
+	var out []string
+	for _, s := range Scenarios() {
+		out = append(out, s.Name)
+	}
+	return out
+}

@@ -13,6 +13,7 @@ package hierarchy
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -76,6 +77,11 @@ var ErrNoNodes = errors.New("hierarchy: no nodes")
 func NewCluster(nodes []*Node, budgetW float64, p Policy) (*Cluster, error) {
 	if len(nodes) == 0 {
 		return nil, ErrNoNodes
+	}
+	// NaN compares false against every bound, so it would sail past the
+	// floor check and later feed NaN caps into every node's SetCap.
+	if math.IsNaN(budgetW) || math.IsInf(budgetW, 0) {
+		return nil, fmt.Errorf("hierarchy: budget must be a finite wattage, got %v", budgetW)
 	}
 	if budgetW < minNodeCapW*float64(len(nodes)) {
 		return nil, fmt.Errorf("hierarchy: budget %.1f W below floor %.1f W for %d nodes",

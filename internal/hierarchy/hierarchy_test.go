@@ -96,6 +96,13 @@ func TestNewClusterValidation(t *testing.T) {
 	if _, err := NewCluster([]*Node{{Name: "bad"}}, 100, Uniform); err == nil {
 		t.Error("incomplete node accepted")
 	}
+	// A NaN budget compares false against the floor check and would
+	// otherwise propagate NaN caps to every node.
+	for _, w := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := NewCluster([]*Node{n}, w, Uniform); err == nil {
+			t.Errorf("non-finite budget %v accepted", w)
+		}
+	}
 }
 
 func TestUniformRebalance(t *testing.T) {

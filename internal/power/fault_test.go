@@ -1,0 +1,135 @@
+package power
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"acsel/internal/fault"
+)
+
+func TestMeasureEdgeDurations(t *testing.T) {
+	s := DefaultSMU()
+	tr := ConstantTrace(10, 5)
+	for _, d := range []float64{0, -1, math.NaN(), math.Inf(-1)} {
+		if _, err := s.Measure(tr, d, nil); !errors.Is(err, ErrBadDuration) {
+			t.Errorf("duration %v: err = %v, want ErrBadDuration", d, err)
+		}
+	}
+}
+
+func TestMeasureNilRNGIsNoiseless(t *testing.T) {
+	// A nil RNG must disable noise entirely, not panic: two nil-RNG
+	// measurements are identical and match the trace exactly.
+	s := DefaultSMU()
+	tr := ConstantTrace(10, 5)
+	a, err := s.Measure(tr, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Measure(tr, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("nil-RNG measurements differ: %+v vs %+v", a, b)
+	}
+	if math.Abs(a.TotalAvgW()-15) > 1e-9 {
+		t.Errorf("noiseless avg = %v, want 15", a.TotalAvgW())
+	}
+}
+
+func TestMeasureFaultyNoFaultsIsMeasure(t *testing.T) {
+	// The fault-capable path with no faults must be byte-identical to
+	// the clean path — the clean-run-equivalence guarantee.
+	s := DefaultSMU()
+	tr := ConstantTrace(12, 8)
+	a, errA := s.Measure(tr, 0.3, rand.New(rand.NewSource(5)))
+	b, errB := s.MeasureFaulty(tr, 0.3, rand.New(rand.NewSource(5)), nil)
+	if a != b || (errA == nil) != (errB == nil) {
+		t.Errorf("MeasureFaulty(nil faults) diverged: %+v/%v vs %+v/%v", a, errA, b, errB)
+	}
+}
+
+func TestMeasureFaultyDropout(t *testing.T) {
+	s := DefaultSMU()
+	tr := ConstantTrace(10, 5)
+	m, err := s.MeasureFaulty(tr, 0.5, nil, []fault.Fault{{Kind: fault.SensorDropout}})
+	if !errors.Is(err, ErrSensorDropout) {
+		t.Fatalf("err = %v, want ErrSensorDropout", err)
+	}
+	// Dropout means "no data": the measurement carries timing but no
+	// energy or power claim.
+	if m.TotalAvgW() != 0 || m.TotalEnergyJ() != 0 { //lint:ignore floatcmp dropout must carry exactly zero power
+		t.Errorf("dropout leaked a reading: %+v", m)
+	}
+	if m.DurationSec != 0.5 { //lint:ignore floatcmp duration copied verbatim
+		t.Errorf("dropout lost timing: %+v", m)
+	}
+}
+
+func TestMeasureFaultyStuckAndSpike(t *testing.T) {
+	s := DefaultSMU()
+	s.NoiseStd = 0 // deterministic for exact scaling checks
+	tr := ConstantTrace(12, 8)
+
+	m, err := s.MeasureFaulty(tr, 0.5, nil, []fault.Fault{{Kind: fault.SensorStuck, Magnitude: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.TotalAvgW()-9) > 1e-9 {
+		t.Errorf("stuck sensor read %v, want 9", m.TotalAvgW())
+	}
+
+	m, err = s.MeasureFaulty(tr, 0.5, nil, []fault.Fault{{Kind: fault.SensorSpike, Magnitude: 8}})
+	if !errors.Is(err, ErrImplausibleReading) {
+		t.Fatalf("160 W spike: err = %v, want ErrImplausibleReading", err)
+	}
+	// The implausible claim is still returned so callers can log it.
+	if math.Abs(m.TotalAvgW()-160) > 1e-9 {
+		t.Errorf("spiked reading = %v, want 160", m.TotalAvgW())
+	}
+}
+
+func TestMeasureFaultyStuckOnIdleTrace(t *testing.T) {
+	// A latched sensor value still reports on a 0 W trace, split across
+	// domains; total and energy must stay consistent.
+	s := DefaultSMU()
+	s.NoiseStd = 0
+	m, err := s.MeasureFaulty(ConstantTrace(0, 0), 0.5, nil, []fault.Fault{{Kind: fault.SensorStuck, Magnitude: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.TotalAvgW()-9) > 1e-9 {
+		t.Errorf("idle stuck reading = %v, want 9", m.TotalAvgW())
+	}
+	if math.Abs(m.TotalEnergyJ()-9*0.5) > 1e-9 {
+		t.Errorf("idle stuck energy = %v, want %v", m.TotalEnergyJ(), 9*0.5)
+	}
+}
+
+func TestDistortReadingComposes(t *testing.T) {
+	// Faults apply in order; dropout always wins.
+	w, err := DistortReading(20, []fault.Fault{
+		{Kind: fault.SensorStuck, Magnitude: 9},
+		{Kind: fault.SensorSpike, Magnitude: 2},
+	})
+	if err != nil || math.Abs(w-18) > 1e-12 {
+		t.Errorf("stuck-then-spike = %v, %v; want 18", w, err)
+	}
+	if _, err := DistortReading(20, []fault.Fault{
+		{Kind: fault.SensorSpike, Magnitude: 2},
+		{Kind: fault.SensorDropout},
+	}); !errors.Is(err, ErrSensorDropout) {
+		t.Errorf("dropout in chain: err = %v", err)
+	}
+	w, err = DistortReading(20, []fault.Fault{{Kind: fault.SensorDrift, Magnitude: 0.1}})
+	if err != nil || math.Abs(w-18) > 1e-12 {
+		t.Errorf("10%% drift = %v, %v; want 18", w, err)
+	}
+	w, err = DistortReading(20, nil)
+	if err != nil || w != 20 { //lint:ignore floatcmp no faults must be the identity
+		t.Errorf("identity = %v, %v", w, err)
+	}
+}

@@ -10,8 +10,11 @@ package power
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
+
+	"acsel/internal/fault"
 )
 
 // Domain identifies one of the two measured power planes.
@@ -52,12 +55,18 @@ type SMU struct {
 	// QuantumW is the estimator's reporting resolution in watts
 	// (samples are rounded to multiples of it; 0 disables quantization).
 	QuantumW float64
+	// MaxPlausibleW is the physical ceiling of a believable package
+	// reading; measurements beyond it return ErrImplausibleReading so
+	// callers can quarantine them (0 disables the check).
+	MaxPlausibleW float64
 }
 
 // DefaultSMU returns an SMU matching the paper's setup: 1 kHz sampling
-// with a realistic estimator noise and 1/8 W quantization.
+// with a realistic estimator noise and 1/8 W quantization. The
+// plausibility ceiling sits well above the machine's ~55 W peak but
+// below any spiking sensor's output.
 func DefaultSMU() *SMU {
-	return &SMU{SampleHz: 1000, NoiseStd: 0.01, QuantumW: 0.125}
+	return &SMU{SampleHz: 1000, NoiseStd: 0.01, QuantumW: 0.125, MaxPlausibleW: 120}
 }
 
 // Measurement is the integrated result of sampling one kernel
@@ -80,13 +89,88 @@ func (m Measurement) TotalEnergyJ() float64 { return m.EnergyCPUJ + m.EnergyNBJ 
 // ErrBadDuration is returned for non-positive measurement windows.
 var ErrBadDuration = errors.New("power: non-positive duration")
 
+// ErrSensorDropout is returned when the SMU produces no reading at all
+// — the sensor is dead for this measurement. Distinguish it from
+// ErrImplausibleReading: dropout means "no data", implausible means
+// "data you must not trust".
+var ErrSensorDropout = errors.New("power: SMU sensor dropout")
+
+// ErrImplausibleReading is returned when a reading violates physical
+// bounds (negative, or beyond MaxPlausibleW). The measurement is
+// still returned alongside the error so callers can log what the
+// sensor claimed before quarantining it.
+var ErrImplausibleReading = errors.New("power: implausible power reading")
+
 // Measure samples the trace at SampleHz over [0, duration] and
 // integrates with the trapezoid rule. At least two samples (start and
 // end) are always taken, so sub-millisecond kernels still measure.
 // Sampling noise is drawn from rng; passing a seeded rng makes the
-// measurement reproducible.
+// measurement reproducible. Readings beyond MaxPlausibleW return the
+// measurement together with ErrImplausibleReading.
 func (s *SMU) Measure(trace Trace, duration float64, rng *rand.Rand) (Measurement, error) {
-	if duration <= 0 {
+	return s.MeasureFaulty(trace, duration, rng, nil)
+}
+
+// MeasureFaulty is Measure under injected sensor faults: the resolved
+// faults of one fault-plan event (fault.SiteSMU) distort or destroy
+// the integrated reading. With no faults it is exactly Measure, so
+// clean runs are byte-identical whether or not injection is wired.
+func (s *SMU) MeasureFaulty(trace Trace, duration float64, rng *rand.Rand, faults []fault.Fault) (Measurement, error) {
+	m, err := s.measure(trace, duration, rng)
+	if err != nil {
+		return m, err
+	}
+	if len(faults) > 0 {
+		total := m.TotalAvgW()
+		distorted, err := DistortReading(total, faults)
+		if err != nil {
+			return Measurement{DurationSec: m.DurationSec, Samples: m.Samples}, err
+		}
+		if total > 0 {
+			scale := distorted / total
+			m.AvgCPUW *= scale
+			m.AvgNBGPUW *= scale
+			m.EnergyCPUJ *= scale
+			m.EnergyNBJ *= scale
+		} else if distorted > 0 {
+			// A stuck sensor still reports on an idle trace: split the
+			// latched value like the machine's typical CPU:NB ratio.
+			m.AvgCPUW = distorted * 0.6
+			m.AvgNBGPUW = distorted * 0.4
+			m.EnergyCPUJ = m.AvgCPUW * duration
+			m.EnergyNBJ = m.AvgNBGPUW * duration
+		}
+	}
+	if s.MaxPlausibleW > 0 && (m.TotalAvgW() > s.MaxPlausibleW || m.TotalAvgW() < 0) {
+		return m, fmt.Errorf("%w: %.1f W", ErrImplausibleReading, m.TotalAvgW())
+	}
+	return m, nil
+}
+
+// DistortReading applies one event's sensor faults to a scalar package
+// power reading — the same transfer function MeasureFaulty applies to
+// integrated measurements, reusable wherever a limiter consults a
+// single power number. Dropout returns ErrSensorDropout.
+func DistortReading(w float64, faults []fault.Fault) (float64, error) {
+	for _, f := range faults {
+		switch f.Kind {
+		case fault.SensorDropout:
+			return 0, ErrSensorDropout
+		case fault.SensorStuck:
+			w = f.Magnitude
+		case fault.SensorSpike:
+			w *= f.Magnitude
+		case fault.SensorDrift:
+			w *= 1 - f.Magnitude
+		}
+	}
+	return w, nil
+}
+
+func (s *SMU) measure(trace Trace, duration float64, rng *rand.Rand) (Measurement, error) {
+	// NaN compares false against every bound and +Inf would overflow
+	// the sample count, so both are as unusable as a negative window.
+	if math.IsNaN(duration) || math.IsInf(duration, 0) || duration <= 0 {
 		return Measurement{}, ErrBadDuration
 	}
 	n := int(duration*s.SampleHz) + 1

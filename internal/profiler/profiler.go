@@ -22,6 +22,7 @@ import (
 
 	"acsel/internal/apu"
 	"acsel/internal/counters"
+	"acsel/internal/fault"
 	"acsel/internal/kernels"
 	"acsel/internal/power"
 )
@@ -58,6 +59,11 @@ type Profiler struct {
 	SMU     *power.SMU
 	// CounterNoiseRel is the relative jitter applied to counter values.
 	CounterNoiseRel float64
+	// Faults, when non-nil, injects deterministic hardware faults at
+	// the kernel, SMU, and counter seams of every run. Nil (the
+	// default) leaves all measurements byte-identical to a profiler
+	// without injection wiring.
+	Faults *fault.Injector
 
 	mu      sync.Mutex
 	history []Sample
@@ -82,6 +88,20 @@ var ErrUnknownConfig = errors.New("profiler: unknown configuration")
 // iteration) identity, so repeated calls return identical samples and
 // whole experiments are reproducible.
 func (p *Profiler) Run(k kernels.Kernel, cfgID, iteration int) (Sample, error) {
+	return p.RunAttempt(k, cfgID, iteration, 0)
+}
+
+// RunAttempt is Run with an explicit sensor-read retry ordinal: the
+// SMU fault event is keyed by attempt, so re-reading after
+// power.ErrSensorDropout is a fresh fault decision that may succeed.
+// Kernel-hang and counter faults key on the iteration alone — a
+// retried read does not re-roll the kernel's own fate.
+//
+// When the SMU fails (dropout or implausible reading) the kernel
+// still executed: the sample is returned with its timing intact and
+// whatever power the sensor claimed, alongside the sentinel error,
+// and is NOT recorded in the history.
+func (p *Profiler) RunAttempt(k kernels.Kernel, cfgID, iteration, attempt int) (Sample, error) {
 	cfg, err := p.Space.ByID(cfgID)
 	if err != nil {
 		return Sample{}, fmt.Errorf("%w: %v", ErrUnknownConfig, err)
@@ -91,11 +111,18 @@ func (p *Profiler) Run(k kernels.Kernel, cfgID, iteration int) (Sample, error) {
 	if err != nil {
 		return Sample{}, err
 	}
-	meas, err := p.SMU.Measure(power.ConstantTrace(exec.CPUPowerW, exec.NBGPUPowerW), exec.TimeSec, rng)
-	if err != nil {
-		return Sample{}, err
+	evKey := fault.EventKey(k.ID(), cfgID)
+	for _, f := range p.Faults.At(fault.SiteKernel, evKey, iteration) {
+		if f.Kind == fault.KernelHang && f.Magnitude > 1 {
+			exec.TimeSec *= f.Magnitude
+		}
 	}
-	ctr := counters.Derive(k.Workload, exec).Noisy(rng, p.CounterNoiseRel)
+	smuKey := evKey
+	if attempt > 0 {
+		smuKey = fmt.Sprintf("%s#r%d", evKey, attempt)
+	}
+	smuFaults := p.Faults.At(fault.SiteSMU, smuKey, iteration)
+	meas, measErr := p.SMU.MeasureFaulty(power.ConstantTrace(exec.CPUPowerW, exec.NBGPUPowerW), exec.TimeSec, rng, smuFaults)
 	s := Sample{
 		KernelID:  k.ID(),
 		Benchmark: k.Benchmark,
@@ -107,8 +134,15 @@ func (p *Profiler) Run(k kernels.Kernel, cfgID, iteration int) (Sample, error) {
 		TimeSec:   exec.TimeSec,
 		CPUPowerW: meas.AvgCPUW,
 		NBGPUW:    meas.AvgNBGPUW,
-		Counters:  ctr,
 	}
+	if measErr != nil {
+		return s, measErr
+	}
+	ctr := counters.Derive(k.Workload, exec).Noisy(rng, p.CounterNoiseRel)
+	for _, f := range p.Faults.At(fault.SiteCounter, evKey, iteration) {
+		ctr = ctr.Corrupted(f, rng)
+	}
+	s.Counters = ctr
 	p.mu.Lock()
 	p.history = append(p.history, s)
 	p.mu.Unlock()
@@ -118,11 +152,16 @@ func (p *Profiler) Run(k kernels.Kernel, cfgID, iteration int) (Sample, error) {
 // RunConfig is Run for an explicit configuration that must exist in the
 // profiler's space.
 func (p *Profiler) RunConfig(k kernels.Kernel, cfg apu.Config, iteration int) (Sample, error) {
+	return p.RunConfigAttempt(k, cfg, iteration, 0)
+}
+
+// RunConfigAttempt is RunAttempt for an explicit configuration.
+func (p *Profiler) RunConfigAttempt(k kernels.Kernel, cfg apu.Config, iteration, attempt int) (Sample, error) {
 	id := p.Space.IDOf(cfg)
 	if id < 0 {
 		return Sample{}, fmt.Errorf("%w: %v", ErrUnknownConfig, cfg)
 	}
-	return p.Run(k, id, iteration)
+	return p.RunAttempt(k, id, iteration, attempt)
 }
 
 // ProfileAllConfigs runs kernel k once at every configuration in the

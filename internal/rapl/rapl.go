@@ -38,9 +38,16 @@ func NewWindow(spanSec float64) (*Window, error) {
 }
 
 // Add records that power w was drawn for duration d ending at time t.
-// Samples must arrive in non-decreasing time order.
+// Samples must arrive in non-decreasing time order. Non-finite times,
+// powers, or durations are rejected: a single NaN sample would
+// otherwise poison the running average for as long as it stays in the
+// window, and the controller would Hold forever (NaN compares false
+// against every threshold).
 func (win *Window) Add(t, w, d float64) error {
-	if d <= 0 {
+	if math.IsNaN(t) || math.IsInf(t, 0) || math.IsNaN(w) || math.IsInf(w, 0) {
+		return errors.New("rapl: non-finite sample")
+	}
+	if math.IsNaN(d) || d <= 0 {
 		return errors.New("rapl: non-positive sample duration")
 	}
 	if n := len(win.samples); n > 0 && t < win.samples[n-1].t {
@@ -113,8 +120,8 @@ type Controller struct {
 // A hysteresis of 0.08 (step up only below 92% of the cap) avoids
 // oscillating between adjacent P-states.
 func NewController(capW, windowSec float64) (*Controller, error) {
-	if capW <= 0 {
-		return nil, errors.New("rapl: non-positive cap")
+	if math.IsNaN(capW) || math.IsInf(capW, 0) || capW <= 0 {
+		return nil, errors.New("rapl: cap must be a positive finite wattage")
 	}
 	win, err := NewWindow(windowSec)
 	if err != nil {

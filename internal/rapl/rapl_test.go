@@ -69,6 +69,40 @@ func TestWindowValidation(t *testing.T) {
 	}
 }
 
+func TestWindowRejectsNonFiniteSamples(t *testing.T) {
+	// One NaN sample would poison the running average for its entire
+	// residence in the window, freezing the controller on Hold.
+	w, _ := NewWindow(1)
+	if err := w.Add(0.1, 20, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	bad := [][3]float64{
+		{math.NaN(), 20, 0.1},
+		{0.2, math.NaN(), 0.1},
+		{0.2, 20, math.NaN()},
+		{math.Inf(1), 20, 0.1},
+		{0.2, math.Inf(1), 0.1},
+		{0.2, math.Inf(-1), 0.1},
+	}
+	for _, s := range bad {
+		if err := w.Add(s[0], s[1], s[2]); err == nil {
+			t.Errorf("Add(%v, %v, %v) accepted", s[0], s[1], s[2])
+		}
+	}
+	if avg := w.Average(); math.IsNaN(avg) || math.Abs(avg-20) > 1e-12 {
+		t.Errorf("rejected samples poisoned the average: %v", avg)
+	}
+	c, _ := NewController(20, 1)
+	if _, err := c.Observe(0.1, math.NaN(), 0.1); err == nil {
+		t.Error("controller observed a NaN power reading")
+	}
+	for _, w := range []float64{math.NaN(), math.Inf(1)} {
+		if _, err := NewController(w, 1); err == nil {
+			t.Errorf("non-finite cap %v accepted", w)
+		}
+	}
+}
+
 func TestActionString(t *testing.T) {
 	if Hold.String() != "hold" || StepDown.String() != "step-down" || StepUp.String() != "step-up" {
 		t.Fatal("action strings")
