@@ -1,17 +1,18 @@
 GO ?= go
 
 # Packages exercised under the race detector: the concurrency-heavy
-# runtime, scheduler, profiler, and cluster-hierarchy layers.
-RACE_PKGS = ./internal/rts ./internal/sched ./internal/profiler ./internal/hierarchy
+# runtime, scheduler, profiler, and cluster-hierarchy layers, plus the
+# lock-free metrics registry.
+RACE_PKGS = ./internal/rts ./internal/sched ./internal/profiler ./internal/hierarchy ./internal/metrics
 
 # Packages with fault-injection (chaos) suites, run under -race: the
 # deterministic fault scenarios exercise the retry/quarantine/ladder
 # paths that clean tests never reach.
 CHAOS_PKGS = ./internal/rts ./internal/sched ./internal/power ./internal/fault
 
-.PHONY: all build vet lint test test-race test-chaos fmt-check bench repro csv fuzz clean
+.PHONY: all build vet lint test test-race test-chaos metrics-check fmt-check bench repro csv fuzz clean
 
-all: build vet lint test test-race test-chaos
+all: build vet lint test test-race test-chaos metrics-check
 
 build:
 	$(GO) build ./...
@@ -36,6 +37,17 @@ test-race:
 # scenario replayed through the runtime, scheduler, and sensor layers.
 test-chaos:
 	$(GO) test -race $(CHAOS_PKGS)
+
+# End-to-end observability smoke test: a one-iteration bench run must
+# produce a JSON snapshot carrying every instrumented subsystem's
+# families (rts registers via acsel-bench's blank import, at zero).
+metrics-check:
+	@tmp=$$(mktemp -d); \
+	$(GO) run ./cmd/acsel-bench -exp table3 -iterations 1 -metrics-dump $$tmp/metrics.json > /dev/null; \
+	for fam in acsel_rts_ladder_transitions_total acsel_profiler_runs_total acsel_sched_decisions_total acsel_eval_fold_seconds acsel_core_phase_seconds acsel_fault_injected_total; do \
+		grep -q "\"$$fam\"" $$tmp/metrics.json || { echo "metrics-check: family $$fam missing from snapshot"; rm -rf $$tmp; exit 1; }; \
+	done; \
+	rm -rf $$tmp; echo "metrics-check: snapshot inventory complete"
 
 # Fail if any file is not gofmt-clean (prints the offenders).
 fmt-check:

@@ -9,6 +9,7 @@
 //	acsel-app -bench LULESH -input Large -cap 24 -steps 10
 //	acsel-app -bench CoMD -input Small -cap 20 -fl -cap-schedule 30,20,15
 //	acsel-app -bench LULESH -input Large -cap 24 -fault-plan sensor-stuck:7
+//	acsel-app -bench LULESH -cap 24 -metrics-addr :9090 -metrics-dump run.json
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"acsel/internal/core"
 	"acsel/internal/fault"
 	"acsel/internal/kernels"
+	"acsel/internal/metrics"
 	"acsel/internal/profiler"
 	"acsel/internal/rts"
 )
@@ -34,11 +36,30 @@ func main() {
 	z := flag.Float64("z", 0, "variance-aware selection margin (0 disables)")
 	capSchedule := flag.String("cap-schedule", "", "comma-separated caps applied at successive timesteps")
 	faultPlan := flag.String("fault-plan", "", "fault scenario to inject, as scenario[:seed] (empty = clean run)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address for the duration of the run")
+	metricsDump := flag.String("metrics-dump", "", "write a JSON metrics snapshot to this file at exit")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		addr, stop, err := metrics.Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acsel-app: metrics listener:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "metrics: serving http://%s/metrics (and /debug/pprof)\n", addr)
+	}
 
 	if err := run(*bench, *input, *capW, *steps, *fl, *z, *capSchedule, *faultPlan); err != nil {
 		fmt.Fprintln(os.Stderr, "acsel-app:", err)
 		os.Exit(1)
+	}
+	if *metricsDump != "" {
+		if err := metrics.DumpFile(*metricsDump); err != nil {
+			fmt.Fprintln(os.Stderr, "acsel-app: metrics dump:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: snapshot written to %s\n", *metricsDump)
 	}
 }
 

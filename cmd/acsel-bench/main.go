@@ -11,6 +11,8 @@
 //	acsel-bench -list           # list experiment names
 //	acsel-bench -exp chaos      # Table III under every fault scenario
 //	acsel-bench -exp chaos -chaos-scenario sensor-stuck -chaos-seed 7
+//	acsel-bench -exp table3 -metrics-dump out.json   # keep the telemetry
+//	acsel-bench -metrics-addr :9090                  # live /metrics + pprof
 package main
 
 import (
@@ -24,7 +26,14 @@ import (
 	"acsel/internal/eval"
 	"acsel/internal/fault"
 	"acsel/internal/kernels"
+	"acsel/internal/metrics"
 	"acsel/internal/trace"
+
+	// Register the adaptive runtime's metric families: acsel-bench never
+	// executes rts itself, but a -metrics-dump snapshot should carry the
+	// full inventory so dashboards and CI assertions see every family,
+	// silent ones at zero.
+	_ "acsel/internal/rts"
 )
 
 var experiments = []string{
@@ -42,6 +51,8 @@ func main() {
 	csvDir := flag.String("csv-dir", "", "optional directory for CSV exports (profiles and cases)")
 	chaosScenario := flag.String("chaos-scenario", "all", "fault scenario for -exp chaos (a scenario name or all)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-plan seed for -exp chaos")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address for the duration of the run")
+	metricsDump := flag.String("metrics-dump", "", "write a JSON metrics snapshot to this file at exit")
 	flag.Parse()
 
 	if *list {
@@ -51,9 +62,26 @@ func main() {
 		return
 	}
 
+	if *metricsAddr != "" {
+		addr, stop, err := metrics.Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acsel-bench: metrics listener:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "metrics: serving http://%s/metrics (and /debug/pprof)\n", addr)
+	}
+
 	if err := run(*exp, *iters, *k, *csvDir, *chaosScenario, *chaosSeed); err != nil {
 		fmt.Fprintln(os.Stderr, "acsel-bench:", err)
 		os.Exit(1)
+	}
+	if *metricsDump != "" {
+		if err := metrics.DumpFile(*metricsDump); err != nil {
+			fmt.Fprintln(os.Stderr, "acsel-bench: metrics dump:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: snapshot written to %s\n", *metricsDump)
 	}
 }
 

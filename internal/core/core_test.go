@@ -89,6 +89,46 @@ func TestCharacterizeDeterministic(t *testing.T) {
 	}
 }
 
+// TestCharacterizeOrderIndependent regresses the bounded-spawn fix in
+// Characterize: results must be positional (profiles[i] belongs to
+// ks[i]) and identical regardless of input order, because each worker
+// writes only its own index.
+func TestCharacterizeOrderIndependent(t *testing.T) {
+	ks := allKernels()[:8]
+	rev := make([]kernels.Kernel, len(ks))
+	for i, k := range ks {
+		rev[len(ks)-1-i] = k
+	}
+	opts := DefaultTrainOptions()
+	opts.Iterations = 1
+	fwd, err := Characterize(profiler.New(), ks, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bwd, err := Characterize(profiler.New(), rev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]*KernelProfile{}
+	for _, kp := range bwd {
+		byID[kp.KernelID] = kp
+	}
+	for i, kp := range fwd {
+		if kp.KernelID != ks[i].ID() {
+			t.Fatalf("profile %d is %s, want input-order %s", i, kp.KernelID, ks[i].ID())
+		}
+		other := byID[kp.KernelID]
+		if other == nil {
+			t.Fatalf("%s missing from reversed run", kp.KernelID)
+		}
+		for id := range kp.Stats {
+			if kp.Stats[id] != other.Stats[id] {
+				t.Fatalf("%s config %d: stats depend on input order", kp.KernelID, id)
+			}
+		}
+	}
+}
+
 func TestFrontiersDifferAcrossArchetypes(t *testing.T) {
 	profs, _, _ := trained(t)
 	// A branchy kernel and a compute-SIMD kernel should have different

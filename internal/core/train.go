@@ -42,6 +42,7 @@ func DefaultTrainOptions() TrainOptions {
 // sample-configuration runs. Kernels are profiled concurrently; results
 // are deterministic regardless of scheduling.
 func Characterize(p *profiler.Profiler, ks []kernels.Kernel, opts TrainOptions) ([]*KernelProfile, error) {
+	defer mPhaseSeconds.With("characterize").Time()()
 	if opts.Iterations <= 0 {
 		opts.Iterations = 1
 	}
@@ -50,10 +51,14 @@ func Characterize(p *profiler.Profiler, ks []kernels.Kernel, opts TrainOptions) 
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
 	for i, k := range ks {
+		// Acquire the slot before spawning: a large suite must never
+		// materialize one goroutine per kernel up front, only one per
+		// available slot. Results stay deterministic because each
+		// goroutine writes its own index.
+		sem <- struct{}{}
 		wg.Add(1)
 		go func(i int, k kernels.Kernel) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			profiles[i], errs[i] = characterizeOne(p, k, opts)
 		}(i, k)
@@ -172,8 +177,10 @@ func Train(space *apu.Space, profiles []*KernelProfile, opts TrainOptions) (*Mod
 	}
 
 	// 1. Relational clustering on frontier-order dissimilarity.
+	stopCluster := mPhaseSeconds.With("cluster").Time()
 	dis := DissimilarityMatrix(profiles)
 	clu, err := cluster.PAM(dis, opts.K, opts.Seed)
+	stopCluster()
 	if err != nil {
 		return nil, fmt.Errorf("core: clustering: %w", err)
 	}
@@ -190,6 +197,7 @@ func Train(space *apu.Space, profiles []*KernelProfile, opts TrainOptions) (*Mod
 	}
 
 	// 2. Per-cluster, per-device regressions.
+	stopRegress := mPhaseSeconds.With("regressions").Time()
 	for c := 0; c < opts.K; c++ {
 		var members []*KernelProfile
 		for i, kp := range profiles {
@@ -203,8 +211,10 @@ func Train(space *apu.Space, profiles []*KernelProfile, opts TrainOptions) (*Mod
 		}
 		m.Clusters[c] = cm
 	}
+	stopRegress()
 
 	// 3. Classification tree on sample-configuration signatures.
+	stopTree := mPhaseSeconds.With("classifier").Time()
 	var X [][]float64
 	var y []int
 	for i, kp := range profiles {
@@ -216,6 +226,7 @@ func Train(space *apu.Space, profiles []*KernelProfile, opts TrainOptions) (*Mod
 		MinLeaf:      opts.TreeMinLeaf,
 		FeatureNames: ClassifierFeatureNames(),
 	})
+	stopTree()
 	if err != nil {
 		return nil, fmt.Errorf("core: classifier: %w", err)
 	}

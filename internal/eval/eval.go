@@ -8,6 +8,7 @@ package eval
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"acsel/internal/core"
@@ -29,6 +30,25 @@ type Case struct {
 	PerfRatio  float64 // true perf / oracle perf at the same cap
 	PowerRatio float64 // true power / oracle power at the same cap
 	Weight     float64 // kernel's share of benchmark runtime
+	// Infeasible marks a cap no configuration can meet: the oracle's
+	// own selection violates it. Oracle-relative ratios are meaningless
+	// there, so the case is flagged, its ratios are guarded, and
+	// aggregation skips it rather than letting it poison the weighted
+	// sums. Never set on clean runs, where every cap comes from the
+	// kernel's own measured frontier.
+	Infeasible bool
+}
+
+// safeRatio divides num by den, returning 0 when the quotient would be
+// NaN or infinite (zero or non-finite denominator, non-finite
+// numerator). Downstream weighted sums must stay finite no matter how
+// degenerate the oracle's situation is.
+func safeRatio(num, den float64) float64 {
+	r := num / den
+	if math.IsNaN(r) || math.IsInf(r, 0) {
+		return 0
+	}
+	return r
 }
 
 // KernelSummary aggregates one kernel's cases for one method.
@@ -119,7 +139,9 @@ func (h *Harness) Run() (*Evaluation, error) {
 	for _, c := range kernels.Combos() {
 		ks = append(ks, c.Kernels...)
 	}
+	stopChar := mEvalPhase.With("characterize").Time()
 	profiles, err := core.Characterize(h.Profiler, ks, h.Opts)
+	stopChar()
 	if err != nil {
 		return nil, fmt.Errorf("eval: characterize: %w", err)
 	}
@@ -135,7 +157,9 @@ func (h *Harness) Run() (*Evaluation, error) {
 	}
 	sort.Strings(benches)
 
+	stopFolds := mEvalPhase.With("folds").Time()
 	for _, bench := range benches {
+		stopFold := mFoldSeconds.Time()
 		var train []*core.KernelProfile
 		var test []*core.KernelProfile
 		for _, kp := range profiles {
@@ -158,9 +182,13 @@ func (h *Harness) Run() (*Evaluation, error) {
 			}
 			ev.Cases = append(ev.Cases, cases...)
 		}
+		stopFold()
 	}
+	stopFolds()
 
+	stopAgg := mEvalPhase.With("aggregate").Time()
 	ev.aggregate(methods)
+	stopAgg()
 	return ev, nil
 }
 
@@ -174,6 +202,13 @@ func evaluateKernel(r *sched.Runner, kp *core.KernelProfile, methods []sched.Met
 	for _, pt := range kp.Frontier.Points() {
 		capW := pt.Power
 		oracle := r.Oracle(truth, capW)
+		// An oracle that cannot meet the cap itself means the cap is
+		// infeasible for every configuration; comparisons against it
+		// are flagged instead of silently producing NaN/Inf ratios.
+		infeasible := !oracle.MeetsCap(capW)
+		if infeasible {
+			mInfeasibleCases.Inc()
+		}
 		for _, m := range methods {
 			d, err := r.Decide(m, truth, sr, capW)
 			if err != nil {
@@ -187,9 +222,10 @@ func evaluateKernel(r *sched.Runner, kp *core.KernelProfile, methods []sched.Met
 				Decision:   d,
 				Oracle:     oracle,
 				Under:      d.MeetsCap(capW),
-				PerfRatio:  d.TruePerf / oracle.TruePerf,
-				PowerRatio: d.TruePower / oracle.TruePower,
+				PerfRatio:  safeRatio(d.TruePerf, oracle.TruePerf),
+				PowerRatio: safeRatio(d.TruePower, oracle.TruePower),
 				Weight:     kp.TimeShare,
+				Infeasible: infeasible,
 			})
 		}
 	}
@@ -214,6 +250,12 @@ func (ev *Evaluation) aggregate(methods []sched.Method) {
 	comboOf := map[string]string{}
 	weightOf := map[string]float64{}
 	for _, c := range ev.Cases {
+		if c.Infeasible {
+			// No configuration could meet this cap; oracle-relative
+			// ratios carry no signal, so the case stays out of every
+			// summary (it remains visible in ev.Cases and CSV exports).
+			continue
+		}
 		k := key{c.KernelID, c.Method}
 		byKernel[k] = append(byKernel[k], c)
 		comboOf[c.KernelID] = c.Combo

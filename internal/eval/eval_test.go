@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"acsel/internal/core"
 	"acsel/internal/sched"
 )
 
@@ -393,6 +394,92 @@ func TestHeadlineNumbersPinned(t *testing.T) {
 	pin("Model+FL under-perf", ev.Overall[sched.MethodModelFL].UnderPerfRatio, 0.9246)
 	pin("GPU+FL pct-under", ev.Overall[sched.MethodGPUFL].PctUnder, 0.5297)
 	pin("CPU+FL under-perf", ev.Overall[sched.MethodCPUFL].UnderPerfRatio, 0.6084)
+}
+
+func TestSafeRatio(t *testing.T) {
+	for _, tc := range []struct {
+		num, den, want float64
+	}{
+		{3, 4, 0.75},
+		{1, 0, 0},           // would be +Inf
+		{-1, 0, 0},          // would be -Inf
+		{0, 0, 0},           // would be NaN
+		{math.Inf(1), 2, 0}, // non-finite numerator
+		{math.NaN(), 1, 0},  // NaN numerator
+		{2, math.Inf(1), 0}, // 2/Inf = 0 already
+		{1e-300, 1e300, 0},  // underflows to exact 0, passes through
+		{1e300, 1e-300, 0},  // overflows to +Inf, guarded
+	} {
+		got := safeRatio(tc.num, tc.den)
+		if got != tc.want {
+			t.Errorf("safeRatio(%v, %v) = %v, want %v", tc.num, tc.den, got, tc.want)
+		}
+	}
+}
+
+// TestInfeasibleCapsFlaggedAndGuarded regresses the division-by-zero /
+// infeasible-cap fix: a profile whose every configuration draws far
+// more power than any frontier cap (and measures zero performance, so
+// oracle-relative ratios would be 0/0) must yield cases that are
+// flagged Infeasible with finite ratios, and aggregation must skip them
+// rather than folding garbage into the weighted sums.
+func TestInfeasibleCapsFlaggedAndGuarded(t *testing.T) {
+	h, ev := fullEval(t)
+	src := ev.Profiles[0]
+	runner := &sched.Runner{Space: h.Profiler.Space, Model: ev.FoldModels[src.Benchmark]}
+
+	doctored := *src
+	doctored.Stats = append([]core.ConfigStats(nil), src.Stats...)
+	for i := range doctored.Stats {
+		doctored.Stats[i].MeanPower = 1e6
+		doctored.Stats[i].MeanPerf = 0
+	}
+
+	cases, err := evaluateKernel(runner, &doctored, sched.Methods())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) == 0 {
+		t.Fatal("no cases produced")
+	}
+	for _, c := range cases {
+		if !c.Infeasible {
+			t.Fatalf("%v cap %v: infeasible cap not flagged", c.Method, c.CapW)
+		}
+		if c.Under {
+			t.Fatalf("%v cap %v: claims to meet an infeasible cap", c.Method, c.CapW)
+		}
+		for name, r := range map[string]float64{"perf": c.PerfRatio, "power": c.PowerRatio} {
+			if math.IsNaN(r) || math.IsInf(r, 0) {
+				t.Fatalf("%v cap %v: %s ratio = %v, guard failed", c.Method, c.CapW, name, r)
+			}
+		}
+	}
+
+	degenerate := &Evaluation{Cases: cases}
+	degenerate.aggregate(sched.Methods())
+	if len(degenerate.PerKernel) != 0 {
+		t.Errorf("infeasible cases produced %d kernel summaries, want 0", len(degenerate.PerKernel))
+	}
+	for m, agg := range degenerate.Overall {
+		for _, v := range []float64{agg.PctUnder, agg.UnderPerfRatio, agg.UnderPowerRatio, agg.OverPerfRatio, agg.OverPowerRatio} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%v: non-finite aggregate %v", m, v)
+			}
+		}
+	}
+}
+
+func TestCleanRunsHaveNoInfeasibleCases(t *testing.T) {
+	// Every clean-run cap is a frontier-point power of the kernel
+	// itself, so the oracle always meets it; the Infeasible flag must
+	// stay a fault-path-only marker and never perturb Table III.
+	_, ev := fullEval(t)
+	for _, c := range ev.Cases {
+		if c.Infeasible {
+			t.Fatalf("%s %v cap %v flagged infeasible on a clean run", c.KernelID, c.Method, c.CapW)
+		}
+	}
 }
 
 func TestPlotFrontier(t *testing.T) {

@@ -1,0 +1,18 @@
+package eval
+
+import "acsel/internal/metrics"
+
+// Metric families of the evaluation harness: wall time per pipeline
+// phase and per cross-validation fold, plus a counter for cases whose
+// oracle found no feasible configuration (the degenerate inputs the
+// ratio guards exist for).
+var (
+	mEvalPhase = metrics.NewHistogramVec("acsel_eval_phase_seconds",
+		"Wall time of evaluation-harness phases (characterize, folds, aggregate).",
+		metrics.TimeBuckets, "phase")
+	mFoldSeconds = metrics.NewHistogram("acsel_eval_fold_seconds",
+		"Wall time of one leave-one-benchmark-out fold (train plus per-kernel evaluation).",
+		metrics.TimeBuckets)
+	mInfeasibleCases = metrics.NewCounter("acsel_eval_infeasible_cases_total",
+		"Evaluation cases whose cap was infeasible for every configuration (oracle fell back above the cap).")
+)

@@ -200,6 +200,7 @@ func (in *Injector) At(site Site, key string, iter int) []Fault {
 				f.Magnitude = MaxDriftFrac
 			}
 		}
+		mInjected.With(in.scenario.Name, site.String()).Inc()
 		out = append(out, f)
 	}
 	return out

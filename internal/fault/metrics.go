@@ -1,0 +1,10 @@
+package fault
+
+import "acsel/internal/metrics"
+
+// mInjected counts resolved fault events by scenario and seam site.
+// Counting happens at resolution time (Injector.At), so the metric is
+// the ground truth of what a chaos run actually injected — the
+// denominator every robustness claim needs.
+var mInjected = metrics.NewCounterVec("acsel_fault_injected_total",
+	"Resolved fault events, by fault scenario and hardware seam site.", "scenario", "site")

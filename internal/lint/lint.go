@@ -90,6 +90,7 @@ func All() []*Analyzer {
 		AnalyzerGlobalRand,
 		AnalyzerErrCheck,
 		AnalyzerLockSleep,
+		AnalyzerMetricName,
 	}
 }
 

@@ -1,0 +1,7 @@
+// metricname skips _test.go files: tests register scratch families
+// under throwaway names that never reach a dashboard.
+package metrics
+
+func NewCounter(name, help string) int { return 0 }
+
+var scratch = NewCounter("whatever Name", "unchecked in tests")

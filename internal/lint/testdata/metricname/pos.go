@@ -1,0 +1,43 @@
+// Positive cases for the metricname analyzer. The stubs mirror the
+// acsel/internal/metrics constructor signatures; fixtures type-check
+// standalone, so the package is named metrics and declares its own.
+package metrics
+
+type Counter struct{}
+type CounterVec struct{}
+type Gauge struct{}
+type GaugeVec struct{}
+type Histogram struct{}
+type HistogramVec struct{}
+
+func NewCounter(name, help string) *Counter { return nil }
+func NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return nil
+}
+func NewGauge(name, help string) *Gauge { return nil }
+func NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	return nil
+}
+func NewHistogram(name, help string, buckets []float64) *Histogram { return nil }
+func NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return nil
+}
+
+var (
+	bad1 = NewCounter("acsel_rts_steps", "counter without _total")
+	bad2 = NewCounter("Acsel_Steps_total", "not snake_case")
+	bad3 = NewGauge("acsel_divergence", "gauge without a unit suffix")
+	bad4 = NewGauge("acsel_fallbacks_total", "gauge with the counter suffix")
+	bad5 = NewHistogram("acsel_phase", "histogram without a unit suffix", nil)
+	bad6 = NewCounterVec("acsel_faults_total", "bad label name", "Bad-Label")
+
+	ok1 = NewCounter("acsel_rts_steps_total", "fine")
+	ok2 = NewGauge("acsel_model_divergence_ratio", "fine")
+	ok3 = NewHistogram("acsel_phase_seconds", "fine", nil)
+	ok4 = NewHistogramVec("acsel_run_seconds", "fine", nil, "device", "phase")
+	ok5 = NewGaugeVec("acsel_draw_watts", "fine", "domain")
+)
+
+// Dynamic names cannot be checked statically and are skipped.
+var dynamicName = "runtime_chosen"
+var ok6 = NewCounter(dynamicName, "skipped")

@@ -1,0 +1,7 @@
+// Suppression cases for the metricname analyzer.
+package metrics
+
+func NewCounter(name, help string) int { return 0 }
+
+//lint:ignore metricname grandfathered dashboard name kept for query continuity
+var legacy = NewCounter("acsel_legacy_steps", "pre-convention family")

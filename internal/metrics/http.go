@@ -1,0 +1,86 @@
+// HTTP surface: a live /metrics endpoint in Prometheus text format, a
+// /metrics.json snapshot, and the net/http/pprof profile handlers —
+// the scrape-and-profile loop every production power-capping service
+// in the related literature treats as table stakes.
+package metrics
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+)
+
+// Handler serves the registry in Prometheus text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WriteProm(w); err != nil {
+			// The connection died mid-write; nothing useful to do.
+			return
+		}
+	})
+}
+
+// JSONHandler serves the registry's JSON snapshot.
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.WriteJSON(w); err != nil {
+			return
+		}
+	})
+}
+
+// NewMux builds the observability mux: /metrics (Prometheus text),
+// /metrics.json (snapshot), and /debug/pprof/* (live Go profiles).
+func (r *Registry) NewMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/metrics.json", r.JSONHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts an HTTP listener on addr exposing the registry's mux.
+// It returns the bound address (useful with ":0") and a close function
+// that stops the listener. The server runs until closed; serve errors
+// after shutdown are expected and discarded.
+func (r *Registry) Serve(addr string) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: r.NewMux()}
+	go func() {
+		// ErrServerClosed (or a post-close accept error) is the normal
+		// end of life for this listener.
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}
+
+// Serve starts the Default registry's observability listener.
+func Serve(addr string) (string, func(), error) { return Default.Serve(addr) }
+
+// DumpFile writes the registry's JSON snapshot to path (the
+// -metrics-dump contract: headless runs keep their telemetry).
+func (r *Registry) DumpFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		// The write error is the interesting one; close best-effort.
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// DumpFile snapshots the Default registry to path.
+func DumpFile(path string) error { return Default.DumpFile(path) }

@@ -1,0 +1,438 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestCounterSemantics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1)          // monotone: ignored
+	c.Add(math.NaN())  // non-finite: ignored
+	c.Add(math.Inf(1)) // non-finite: ignored
+	c.Add(0)
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("counter = %v, want 3.5", got)
+	}
+}
+
+func TestGaugeSemantics(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-4)
+	g.Set(math.NaN())  // ignored
+	g.Add(math.Inf(1)) // ignored
+	if got := g.Value(); got != 6 {
+		t.Errorf("gauge = %v, want 6", got)
+	}
+	g.Set(-2)
+	if got := g.Value(); got != -2 {
+		t.Errorf("gauge = %v, want -2", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le (inclusive upper bound)
+// semantics: a value exactly on a bound lands in that bucket, a value
+// above every bound lands only in the implicit +Inf bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("bound_seconds", "boundary test", []float64{1, 2, 5})
+	vals := []float64{0.5, 1, 1.0000001, 2, 5, 6}
+	wantSum := 0.0
+	for _, v := range vals {
+		h.Observe(v)
+		wantSum += v
+	}
+	h.Observe(math.NaN())  // dropped
+	h.Observe(math.Inf(1)) // dropped
+	if got := h.Count(); got != 6 {
+		t.Fatalf("count = %d, want 6 (non-finite observations must be dropped)", got)
+	}
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("sum = %v, want %v", got, wantSum)
+	}
+	snap, ok := r.TakeSnapshot().Family("bound_seconds")
+	if !ok {
+		t.Fatal("family missing from snapshot")
+	}
+	buckets := snap.Metrics[0].Buckets
+	want := []struct {
+		le    string
+		count uint64
+	}{
+		{"1", 2},    // 0.5, 1
+		{"2", 4},    // + 1.0000001, 2
+		{"5", 5},    // + 5
+		{"+Inf", 6}, // + 6
+	}
+	if len(buckets) != len(want) {
+		t.Fatalf("buckets = %+v", buckets)
+	}
+	for i, w := range want {
+		if buckets[i].LE != w.le || buckets[i].Count != w.count {
+			t.Errorf("bucket %d = {%s %d}, want {%s %d}", i, buckets[i].LE, buckets[i].Count, w.le, w.count)
+		}
+	}
+}
+
+func TestNormalizeBuckets(t *testing.T) {
+	r := NewRegistry()
+	// Unsorted with a duplicate and a trailing +Inf: normalized layout
+	// must be sorted, deduped, and finite.
+	h := r.NewHistogram("norm_seconds", "", []float64{5, 1, 5, math.Inf(1), 2})
+	if got := h.Buckets(); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 5 {
+		t.Errorf("buckets = %v", got)
+	}
+	for name, buckets := range map[string][]float64{
+		"empty_seconds": {},
+		"nan_seconds":   {1, math.NaN()},
+		"inf_seconds":   {math.Inf(1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: bad bucket layout accepted", name)
+				}
+			}()
+			r.NewHistogram(name, "", buckets)
+		}()
+	}
+}
+
+func TestValidName(t *testing.T) {
+	for name, want := range map[string]bool{
+		"acsel_rts_steps_total": true,
+		"a":                     true,
+		"a1_b2":                 true,
+		"":                      false,
+		"Upper_case":            false,
+		"double__underscore":    false,
+		"_leading":              false,
+		"trailing_":             false,
+		"1starts_with_digit":    false,
+		"has-dash":              false,
+		"unicode_é":             false,
+	} {
+		if got := ValidName(name); got != want {
+			t.Errorf("ValidName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestRegistrationIdempotentAndConflicting(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.NewCounter("reg_total", "help")
+	c1.Add(7)
+	// Identical re-registration returns the same underlying metric.
+	c2 := r.NewCounter("reg_total", "help")
+	if c1 != c2 {
+		t.Error("identical re-registration produced a distinct counter")
+	}
+	if c2.Value() != 7 {
+		t.Errorf("re-registered counter lost state: %v", c2.Value())
+	}
+	for name, reg := range map[string]func(){
+		"kind":    func() { r.NewGauge("reg_total", "help") },
+		"help":    func() { r.NewCounter("reg_total", "different help") },
+		"labels":  func() { r.NewCounterVec("reg_total", "help", "site") },
+		"badname": func() { r.NewCounter("Bad-Name", "") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("conflicting re-registration (%s) did not panic", name)
+				}
+			}()
+			reg()
+		}()
+	}
+}
+
+func TestPlainFamiliesExportAtZero(t *testing.T) {
+	// A registered-but-never-recorded plain metric must still appear in
+	// exports: silence at zero is signal, absence is an inventory hole.
+	r := NewRegistry()
+	r.NewCounter("quiet_total", "never touched")
+	r.NewHistogram("quiet_seconds", "never touched", []float64{1})
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"quiet_total 0\n", "quiet_seconds_count 0\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPromTextConformance pins the full text exposition of a small
+// registry: HELP/TYPE lines, label escaping, cumulative buckets,
+// _sum/_count, and deterministic family and child ordering.
+func TestPromTextConformance(t *testing.T) {
+	r := NewRegistry()
+	cv := r.NewCounterVec("conf_requests_total", "Requests.\nBy site.", "site")
+	cv.With(`a\b"c`).Add(3)
+	cv.With("plain").Add(1)
+	g := r.NewGauge("conf_level_ratio", "A gauge.")
+	g.Set(0.5)
+	h := r.NewHistogram("conf_wait_seconds", "A histogram.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP conf_level_ratio A gauge.
+# TYPE conf_level_ratio gauge
+conf_level_ratio 0.5
+# HELP conf_requests_total Requests.\nBy site.
+# TYPE conf_requests_total counter
+conf_requests_total{site="a\\b\"c"} 3
+conf_requests_total{site="plain"} 1
+# HELP conf_wait_seconds A histogram.
+# TYPE conf_wait_seconds histogram
+conf_wait_seconds_bucket{le="0.1"} 1
+conf_wait_seconds_bucket{le="1"} 2
+conf_wait_seconds_bucket{le="+Inf"} 3
+conf_wait_seconds_sum 2.55
+conf_wait_seconds_count 3
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestJSONSnapshotGolden locks the exact JSON snapshot format against
+// testdata/snapshot.golden.json (run with -update to rewrite it).
+func TestJSONSnapshotGolden(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounterVec("golden_events_total", "Labeled counter.", "kind").With("alpha").Add(4)
+	r.NewGauge("golden_depth_ratio", "Plain gauge.").Set(0.25)
+	h := r.NewHistogram("golden_wait_seconds", "Plain histogram.", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.75)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "snapshot.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("snapshot drifted from golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestConcurrentRecordAndExport hammers every metric type from many
+// goroutines while exports run concurrently; final totals must be
+// exact. Run under -race this is also the data-race proof for the
+// lock-free record paths.
+func TestConcurrentRecordAndExport(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("conc_total", "")
+	cv := r.NewCounterVec("conc_site_total", "", "site")
+	g := r.NewGauge("conc_ratio", "")
+	h := r.NewHistogramVec("conc_wait_seconds", "", []float64{0.5, 1, 2}, "phase")
+
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			site := []string{"a", "b", "c"}[w%3]
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				cv.With(site).Add(2)
+				g.Add(1)
+				h.With("run").Observe(float64(i%4) * 0.6)
+			}
+		}(w)
+	}
+	// Concurrent readers: exports must see consistent intermediate
+	// state without disturbing the writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			if err := r.WriteProm(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := r.WriteJSON(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	total := float64(workers * perWorker)
+	if got := c.Value(); got != total {
+		t.Errorf("counter = %v, want %v", got, total)
+	}
+	if got := g.Value(); got != total {
+		t.Errorf("gauge = %v, want %v", got, total)
+	}
+	var sites float64
+	for _, s := range []string{"a", "b", "c"} {
+		sites += cv.With(s).Value()
+	}
+	if want := 2 * total; sites != want {
+		t.Errorf("labeled counters sum to %v, want %v", sites, want)
+	}
+	if got := h.With("run").Count(); got != uint64(total) {
+		t.Errorf("histogram count = %d, want %d", uint64(total), got)
+	}
+}
+
+func TestHistogramTimer(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("timer_seconds", "", TimeBuckets)
+	stop := h.Time()
+	stop()
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if s := h.Sum(); s < 0 {
+		t.Errorf("negative elapsed time %v", s)
+	}
+}
+
+func TestVecLabelArityPanics(t *testing.T) {
+	r := NewRegistry()
+	cv := r.NewCounterVec("arity_total", "", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong label arity accepted")
+		}
+	}()
+	cv.With("only-one")
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(5, 5, 3)
+	if len(lin) != 3 || lin[0] != 5 || lin[1] != 10 || lin[2] != 15 {
+		t.Errorf("linear = %v", lin)
+	}
+	exp := ExponentialBuckets(1, 2, 4)
+	if len(exp) != 4 || exp[0] != 1 || exp[3] != 8 {
+		t.Errorf("exponential = %v", exp)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("served_total", "served counter").Add(9)
+	addr, stop, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "served_total 9") {
+		t.Errorf("/metrics body:\n%s", buf.String())
+	}
+
+	jr, err := http.Get("http://" + addr + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Body.Close()
+	buf.Reset()
+	if _, err := buf.ReadFrom(jr.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"served_total"`) {
+		t.Errorf("/metrics.json body:\n%s", buf.String())
+	}
+
+	pr, err := http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.Body.Close()
+	if pr.StatusCode != http.StatusOK {
+		t.Errorf("pprof status %d", pr.StatusCode)
+	}
+}
+
+func TestDumpFile(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dumped_total", "").Add(1)
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := r.DumpFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"dumped_total"`) {
+		t.Errorf("dump:\n%s", b)
+	}
+	if err := r.DumpFile(filepath.Join(path, "not-a-dir", "x.json")); err == nil {
+		t.Error("impossible path accepted")
+	}
+}
+
+func TestDefaultRegistryWrappers(t *testing.T) {
+	// The package-level constructors must register into Default; names
+	// are prefixed to avoid colliding with real instrumented families.
+	c := NewCounter("wrapper_smoke_total", "wrapper test")
+	c.Inc()
+	NewCounterVec("wrapper_smoke_site_total", "wrapper test", "site").With("x").Inc()
+	NewGauge("wrapper_smoke_ratio", "wrapper test").Set(1)
+	NewGaugeVec("wrapper_smoke_depth_ratio", "wrapper test", "site").With("x").Set(2)
+	NewHistogram("wrapper_smoke_seconds", "wrapper test", TimeBuckets).Observe(0.01)
+	NewHistogramVec("wrapper_smoke_wait_seconds", "wrapper test", TimeBuckets, "phase").With("p").Observe(0.01)
+	snap := Default.TakeSnapshot()
+	for _, name := range []string{
+		"wrapper_smoke_total", "wrapper_smoke_site_total", "wrapper_smoke_ratio",
+		"wrapper_smoke_depth_ratio", "wrapper_smoke_seconds", "wrapper_smoke_wait_seconds",
+	} {
+		if _, ok := snap.Family(name); !ok {
+			t.Errorf("%s missing from Default snapshot", name)
+		}
+	}
+}

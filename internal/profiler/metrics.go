@@ -1,0 +1,15 @@
+package profiler
+
+import "acsel/internal/metrics"
+
+// Metric families of the profiling library: every instrumented kernel
+// invocation counts a run and observes its (simulated) wall time, by
+// executing device. These are the paper's "history of performance and
+// power measurements" restated as aggregate telemetry.
+var (
+	mRuns = metrics.NewCounterVec("acsel_profiler_runs_total",
+		"Instrumented kernel invocations executed, by device.", "device")
+	mRunSeconds = metrics.NewHistogramVec("acsel_profiler_run_seconds",
+		"Kernel iteration wall time as measured by the profiling library, by device.",
+		metrics.TimeBuckets, "device")
+)

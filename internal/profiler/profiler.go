@@ -111,6 +111,9 @@ func (p *Profiler) RunAttempt(k kernels.Kernel, cfgID, iteration, attempt int) (
 	if err != nil {
 		return Sample{}, err
 	}
+	device := cfg.Device.String()
+	mRuns.With(device).Inc()
+	mRunSeconds.With(device).Observe(exec.TimeSec)
 	evKey := fault.EventKey(k.ID(), cfgID)
 	for _, f := range p.Faults.At(fault.SiteKernel, evKey, iteration) {
 		if f.Kind == fault.KernelHang && f.Magnitude > 1 {
@@ -174,10 +177,12 @@ func (p *Profiler) ProfileAllConfigs(k kernels.Kernel, iteration int) ([]Sample,
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for id := 0; id < n; id++ {
+		// Acquire before spawning so at most one goroutine exists per
+		// semaphore slot (same discipline as core.Characterize).
+		sem <- struct{}{}
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			out[id], errs[id] = p.Run(k, id, iteration)
 		}(id)

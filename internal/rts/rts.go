@@ -409,6 +409,7 @@ func (rt *Runtime) runSample(k kernels.Kernel, st *kernelState, cfg apu.Config, 
 	s, err := rt.prof.RunConfigAttempt(k, cfg, iter, 0)
 	for a := 1; errors.Is(err, power.ErrSensorDropout) && a <= rt.measureRetryBudget(); a++ {
 		st.dropouts++
+		mDropouts.Inc()
 		s, err = rt.prof.RunConfigAttempt(k, cfg, iter, a)
 	}
 	meta := stepMeta{rung: st.rung}
@@ -416,9 +417,11 @@ func (rt *Runtime) runSample(k kernels.Kernel, st *kernelState, cfg apu.Config, 
 	case err == nil:
 	case errors.Is(err, power.ErrSensorDropout):
 		st.dropouts++
+		mDropouts.Inc()
 		meta.sensorLost = true
 	case errors.Is(err, power.ErrImplausibleReading):
 		st.quarantined++
+		mQuarantined.Inc()
 		meta.quarantined = true
 	default:
 		return s, meta, err
@@ -453,6 +456,7 @@ func (rt *Runtime) runPinned(k kernels.Kernel, st *kernelState, key string, capW
 		// hardware kept whatever configuration it last held. Run there
 		// and let the watchdog see the consequences.
 		st.applyFailures++
+		mApplyFailures.Inc()
 		if st.applied != nil {
 			runCfg = *st.applied
 		}
@@ -472,6 +476,7 @@ func (rt *Runtime) runPinned(k kernels.Kernel, st *kernelState, key string, capW
 		s, err = rt.prof.RunConfigAttempt(k, runCfg, st.iter, 0)
 		for a := 1; errors.Is(err, power.ErrSensorDropout) && a <= rt.measureRetryBudget(); a++ {
 			st.dropouts++
+			mDropouts.Inc()
 			s, err = rt.prof.RunConfigAttempt(k, runCfg, st.iter, a)
 		}
 	}
@@ -480,9 +485,11 @@ func (rt *Runtime) runPinned(k kernels.Kernel, st *kernelState, key string, capW
 	case err == nil:
 	case errors.Is(err, power.ErrSensorDropout):
 		st.dropouts++
+		mDropouts.Inc()
 		meta.sensorLost = true
 	case errors.Is(err, power.ErrImplausibleReading):
 		st.quarantined++
+		mQuarantined.Inc()
 		meta.quarantined = true
 	default:
 		return Step{}, err
@@ -512,6 +519,7 @@ func (rt *Runtime) runPinned(k kernels.Kernel, st *kernelState, key string, capW
 	if armed {
 		if trusted {
 			st.div.Observe(rt.predictedW(st, runCfg), measured)
+			mDivergence.Set(st.div.Value())
 			if measured > capW || st.div.Diverged(rt.divergeFrac()) {
 				st.unhealthy++
 				st.healthy = 0
@@ -547,6 +555,7 @@ func (rt *Runtime) applyWithRetry(st *kernelState, key string) error {
 	for attempt := 0; attempt <= budget; attempt++ {
 		if attempt > 0 {
 			st.applyRetries++
+			mPStateRetries.Inc()
 			st.backoffSec += acpi.TransitionLatencySec * float64(int(1)<<uint(attempt-1))
 		}
 		err = rt.pm.ApplyFor(st.pinned, evKey, attempt)
@@ -566,6 +575,7 @@ func (rt *Runtime) demote(st *kernelState, capW float64) {
 	}
 	st.rung++
 	st.demotions++
+	mLadderTransitions.With("demote").Inc()
 	st.div.Reset()
 	if st.rung == RungMinPower && st.minPowerID >= 0 {
 		if cfg, err := rt.model.Space.ByID(st.minPowerID); err == nil {
@@ -589,7 +599,9 @@ func (rt *Runtime) promote(st *kernelState, capW float64) {
 		// reselect only fails before adaptation; stay demoted.
 		st.rung++
 		st.recoveries--
+		return
 	}
+	mLadderTransitions.With("promote").Inc()
 }
 
 // predictedW returns the model's predicted package power for cfg, or
@@ -665,6 +677,7 @@ func (rt *Runtime) reselect(st *kernelState, capW float64) error {
 	if bestID < 0 {
 		// Fall back to the minimum predicted power configuration.
 		bestID = minPowerConfig(st.preds)
+		mReselectFallback.Inc()
 	}
 	if rt.ladderArmed() && st.rung == RungMinPower && st.minPowerID >= 0 {
 		// A kernel on the bottom rung stays floored at minimum power
@@ -713,6 +726,10 @@ func (rt *Runtime) recordStep(k kernels.Kernel, st *kernelState, ph Phase, s pro
 		Rung:        meta.rung,
 		Quarantined: meta.quarantined,
 		SensorLost:  meta.sensorLost,
+	}
+	mSteps.With(ph.String()).Inc()
+	if step.Trusted() && !step.UnderCap {
+		mCapViolations.Inc()
 	}
 	rt.mu.Lock()
 	rt.steps = append(rt.steps, step)

@@ -1,0 +1,16 @@
+package sched
+
+import "acsel/internal/metrics"
+
+// Metric families of the selection policies: how often each method
+// decides, how many frequency-limiter steps the FL variants burn, and
+// how often a policy finds nothing under the cap and activates its
+// minimum-power fallback.
+var (
+	mDecisions = metrics.NewCounterVec("acsel_sched_decisions_total",
+		"Configuration-selection decisions completed, by method.", "method")
+	mFallback = metrics.NewCounterVec("acsel_sched_fallback_activations_total",
+		"Decisions that found no configuration under the cap and fell back to minimum power, by method.", "method")
+	mFLSteps = metrics.NewCounter("acsel_sched_fl_steps_total",
+		"Frequency-limiter P-state steps taken across all decisions.")
+)

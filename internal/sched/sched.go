@@ -148,11 +148,14 @@ func (r *Runner) Oracle(truth Truth, capW float64) Decision {
 	id := bestID
 	if id < 0 {
 		id = fbID
+		mFallback.With(MethodOracle.String()).Inc()
 	}
 	return r.finish(MethodOracle, truth, id, 0)
 }
 
 func (r *Runner) finish(m Method, truth Truth, id, flSteps int) Decision {
+	mDecisions.With(m.String()).Inc()
+	mFLSteps.Add(float64(flSteps))
 	return Decision{
 		Method:    m,
 		ConfigID:  id,
@@ -239,6 +242,9 @@ func (r *Runner) ModelOnly(truth Truth, sr core.SampleRuns, capW float64) (Decis
 	if err != nil {
 		return Decision{}, err
 	}
+	if !sel.MeetsCapPredicted {
+		mFallback.With(MethodModel.String()).Inc()
+	}
 	return r.finish(MethodModel, truth, sel.ConfigID, 0), nil
 }
 
@@ -262,6 +268,9 @@ func (r *Runner) ModelFL(truth Truth, sr core.SampleRuns, capW float64) (Decisio
 	sel, err := r.selectModel(sr, capW)
 	if err != nil {
 		return Decision{}, err
+	}
+	if !sel.MeetsCapPredicted {
+		mFallback.With(MethodModelFL.String()).Inc()
 	}
 	cfg := sel.Config
 	steps := 0

@@ -15,7 +15,12 @@ import (
 	"acsel/internal/profiler"
 )
 
-func f(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+// f formats a float with shortest exact precision: ParseFloat of the
+// result returns the identical float64. A fixed 10-significant-digit
+// format (the previous behaviour) silently truncated power/time/counter
+// values, so exports no longer round-tripped and downstream statistical
+// analysis saw corrupted data.
+func f(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 // WriteSamplesCSV streams profiler samples: one row per instrumented
 // kernel invocation with identification, configuration, timing, power,
@@ -90,6 +95,7 @@ func WriteCasesCSV(w io.Writer, cases []eval.Case) error {
 		"kernel_id", "combo", "method", "cap_w",
 		"config_id", "device", "cpu_ghz", "threads", "gpu_ghz",
 		"true_perf", "true_power_w", "under_limit", "perf_vs_oracle", "power_vs_oracle", "weight",
+		"oracle_infeasible",
 	}); err != nil {
 		return err
 	}
@@ -101,6 +107,7 @@ func WriteCasesCSV(w io.Writer, cases []eval.Case) error {
 			f(c.Decision.Config.GPUFreqGHz),
 			f(c.Decision.TruePerf), f(c.Decision.TruePower),
 			strconv.FormatBool(c.Under), f(c.PerfRatio), f(c.PowerRatio), f(c.Weight),
+			strconv.FormatBool(c.Infeasible),
 		}); err != nil {
 			return err
 		}

@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"encoding/csv"
+	"math"
 	"strconv"
 	"testing"
 
@@ -125,6 +126,134 @@ func TestEmptyInputsProduceHeaderOnly(t *testing.T) {
 	if rows := parseCSV(t, &buf); len(rows) != 1 {
 		t.Errorf("rows = %d", len(rows))
 	}
+}
+
+// TestFloatFormatRoundTrips pins the cell formatter itself: ParseFloat
+// of every formatted value must return the identical float64. All of
+// these values lose bits at the old fixed 10-significant-digit format.
+func TestFloatFormatRoundTrips(t *testing.T) {
+	for _, v := range []float64{
+		math.Pi,
+		1.0 / 3.0,
+		2.0000000001234567,
+		123456789.123456789,
+		1e-321, // subnormal
+		math.SmallestNonzeroFloat64,
+		math.MaxFloat64,
+		0,
+		-math.Pi * 1e8,
+	} {
+		cell := f(v)
+		got, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			t.Fatalf("f(%v) = %q: %v", v, cell, err)
+		}
+		if got != v {
+			t.Errorf("f(%v) = %q parses back to %v", v, cell, got)
+		}
+	}
+}
+
+// TestWritersRoundTripExactly writes real characterization data (with a
+// few cells doctored to full-precision values) through all three
+// writers and parses it back: every float column must reproduce the
+// in-memory float64 bit-for-bit.
+func TestWritersRoundTripExactly(t *testing.T) {
+	p, profs := sampleData(t)
+	samples := p.History()
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	samples[0].TimeSec = math.Pi * 1e-3
+	samples[0].CPUPowerW = 10.0 / 3.0
+	samples[0].NBGPUW = 2.0000000001234567
+	samples[0].Counters.Instructions = 123456789.123456789
+
+	var buf bytes.Buffer
+	if err := WriteSamplesCSV(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	sampleCols := map[string]func(s profiler.Sample) float64{
+		"time_sec":      func(s profiler.Sample) float64 { return s.TimeSec },
+		"cpu_power_w":   func(s profiler.Sample) float64 { return s.CPUPowerW },
+		"nbgpu_power_w": func(s profiler.Sample) float64 { return s.NBGPUW },
+		"instructions":  func(s profiler.Sample) float64 { return s.Counters.Instructions },
+		"dram_accesses": func(s profiler.Sample) float64 { return s.Counters.DRAMAccesses },
+	}
+	for name, get := range sampleCols {
+		col := indexOf(t, rows[0], name)
+		for i, s := range samples {
+			if got := parseCell(t, rows[i+1][col]); got != get(s) {
+				t.Errorf("samples row %d col %s: %q parses to %v, want %v", i, name, rows[i+1][col], got, get(s))
+			}
+		}
+	}
+
+	profs[0].Stats[0].MeanTime = 1.0 / 7.0
+	profs[0].Stats[0].MeanPower = math.Pi * 10
+	buf.Reset()
+	if err := WriteProfilesCSV(&buf, profs); err != nil {
+		t.Fatal(err)
+	}
+	rows = parseCSV(t, &buf)
+	timeCol := indexOf(t, rows[0], "mean_time_sec")
+	perfCol := indexOf(t, rows[0], "mean_perf")
+	powCol := indexOf(t, rows[0], "mean_power_w")
+	r := 1
+	for _, kp := range profs {
+		for _, st := range kp.Stats {
+			for name, want := range map[int]float64{timeCol: st.MeanTime, perfCol: st.MeanPerf, powCol: st.MeanPower} {
+				if got := parseCell(t, rows[r][name]); got != want {
+					t.Errorf("profiles row %d: %q parses to %v, want %v", r, rows[r][name], got, want)
+				}
+			}
+			r++
+		}
+	}
+
+	cases := []eval.Case{
+		{
+			KernelID: "A/B/k", Combo: "A B", Method: sched.MethodModel, CapW: 1.0 / 3.0,
+			Under: true, PerfRatio: 0.9123456789012345, PowerRatio: math.Pi / 3, Weight: 1e-17,
+		},
+		{
+			KernelID: "A/B/k", Combo: "A B", Method: sched.MethodOracle, CapW: 0.1,
+			Infeasible: true,
+		},
+	}
+	buf.Reset()
+	if err := WriteCasesCSV(&buf, cases); err != nil {
+		t.Fatal(err)
+	}
+	rows = parseCSV(t, &buf)
+	caseCols := map[string]func(c eval.Case) float64{
+		"cap_w":           func(c eval.Case) float64 { return c.CapW },
+		"perf_vs_oracle":  func(c eval.Case) float64 { return c.PerfRatio },
+		"power_vs_oracle": func(c eval.Case) float64 { return c.PowerRatio },
+		"weight":          func(c eval.Case) float64 { return c.Weight },
+	}
+	for name, get := range caseCols {
+		col := indexOf(t, rows[0], name)
+		for i, c := range cases {
+			if got := parseCell(t, rows[i+1][col]); got != get(c) {
+				t.Errorf("cases row %d col %s: %q parses to %v, want %v", i, name, rows[i+1][col], got, get(c))
+			}
+		}
+	}
+	infCol := indexOf(t, rows[0], "oracle_infeasible")
+	if rows[1][infCol] != "false" || rows[2][infCol] != "true" {
+		t.Errorf("oracle_infeasible column: %q, %q", rows[1][infCol], rows[2][infCol])
+	}
+}
+
+func parseCell(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", cell, err)
+	}
+	return v
 }
 
 func indexOf(t *testing.T, header []string, name string) int {
