@@ -10,7 +10,7 @@ RACE_PKGS = ./internal/rts ./internal/sched ./internal/profiler ./internal/hiera
 # paths that clean tests never reach.
 CHAOS_PKGS = ./internal/rts ./internal/sched ./internal/power ./internal/fault
 
-.PHONY: all build vet lint test test-race test-chaos metrics-check fmt-check bench repro csv fuzz clean
+.PHONY: all build vet lint test test-race test-chaos metrics-check fmt-check bench repro csv fuzz fuzz-smoke clean
 
 all: build vet lint test test-race test-chaos metrics-check
 
@@ -29,9 +29,13 @@ lint:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the packages that spawn goroutines.
+# Race-detector pass over the packages that spawn goroutines, plus the
+# parallel-fold determinism regression (workers=1 vs GOMAXPROCS must
+# yield a deeply equal Evaluation) and the parallel matrix equivalence.
 test-race:
 	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race -run 'TestRunDeterministicAcrossWorkerCounts|TestModelCacheDirAcceleratesRun' ./internal/eval
+	$(GO) test -race -run 'TestDissimilarityWorkersEquivalent' ./internal/core
 
 # Fault-injection suites under the race detector: every built-in chaos
 # scenario replayed through the runtime, scheduler, and sensor layers.
@@ -68,6 +72,13 @@ csv:
 # Short fuzz pass over the pragma preprocessor.
 fuzz:
 	$(GO) test -fuzz FuzzPreprocess -fuzztime 30s ./internal/pragma
+
+# CI-sized fuzz pass: 10 seconds per target across every fuzzed package
+# (rank correlation, frontier shared order, pragma preprocessing).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzKendallTauRanks -fuzztime 10s ./internal/stats
+	$(GO) test -run '^$$' -fuzz FuzzSharedOrder -fuzztime 10s ./internal/pareto
+	$(GO) test -run '^$$' -fuzz FuzzPreprocess -fuzztime 10s ./internal/pragma
 
 clean:
 	rm -rf out/ model.json profiles.json

@@ -9,6 +9,7 @@
 package acsel_test
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -407,13 +408,59 @@ func BenchmarkAblationBoostStates(b *testing.B) {
 }
 
 // BenchmarkDissimilarityMatrix measures the pairwise frontier
-// comparison over the full 65-profile suite (65×64/2 Kendall taus).
+// comparison over the full 65-profile suite (65×64/2 Kendall taus),
+// sequentially and on the bounded worker pool. Both paths produce a
+// bit-identical matrix; the gap is pure parallel speedup.
 func BenchmarkDissimilarityMatrix(b *testing.B) {
 	ev, _ := sharedEval(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		core.DissimilarityMatrix(ev.Profiles)
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.DissimilarityMatrixWorkers(ev.Profiles, bench.workers)
+			}
+		})
+	}
+}
+
+// BenchmarkEvalFolds measures the cross-validation fold pipeline alone —
+// characterization happens once outside the timer — comparing the
+// sequential fold loop against the bounded fold pool. Both emit a
+// deeply equal Evaluation; the acceptance bar is parallel ≥2× at
+// GOMAXPROCS ≥ 4 (on a single-CPU host the two are expected to tie).
+func BenchmarkEvalFolds(b *testing.B) {
+	h := eval.NewHarness()
+	h.Opts.Iterations = 3
+	var ks []kernels.Kernel
+	for _, c := range kernels.Combos() {
+		ks = append(ks, c.Kernels...)
+	}
+	profs, err := core.Characterize(h.Profiler, ks, h.Opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			h.Workers = bench.workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := h.RunOnProfiles(profs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -13,6 +13,8 @@
 //	acsel-bench -exp chaos -chaos-scenario sensor-stuck -chaos-seed 7
 //	acsel-bench -exp table3 -metrics-dump out.json   # keep the telemetry
 //	acsel-bench -metrics-addr :9090                  # live /metrics + pprof
+//	acsel-bench -fold-workers 1                      # sequential folds (same output)
+//	acsel-bench -model-cache .acsel-cache            # reuse fold models across runs
 package main
 
 import (
@@ -53,6 +55,8 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-plan seed for -exp chaos")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address for the duration of the run")
 	metricsDump := flag.String("metrics-dump", "", "write a JSON metrics snapshot to this file at exit")
+	foldWorkers := flag.Int("fold-workers", 0, "concurrent cross-validation folds (0 = GOMAXPROCS, 1 = sequential; any value yields identical output)")
+	modelCache := flag.String("model-cache", "", "optional directory for the content-addressed trained-model cache")
 	flag.Parse()
 
 	if *list {
@@ -72,7 +76,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "metrics: serving http://%s/metrics (and /debug/pprof)\n", addr)
 	}
 
-	if err := run(*exp, *iters, *k, *csvDir, *chaosScenario, *chaosSeed); err != nil {
+	if err := run(*exp, *iters, *k, *foldWorkers, *csvDir, *chaosScenario, *chaosSeed, *modelCache); err != nil {
 		fmt.Fprintln(os.Stderr, "acsel-bench:", err)
 		os.Exit(1)
 	}
@@ -85,7 +89,7 @@ func main() {
 	}
 }
 
-func run(exp string, iters, k int, csvDir, chaosScenario string, chaosSeed int64) error {
+func run(exp string, iters, k, foldWorkers int, csvDir, chaosScenario string, chaosSeed int64, modelCache string) error {
 	selected := map[string]bool{}
 	if exp == "all" {
 		for _, e := range experiments {
@@ -110,6 +114,8 @@ func run(exp string, iters, k int, csvDir, chaosScenario string, chaosSeed int64
 	h := eval.NewHarness()
 	h.Opts.Iterations = iters
 	h.Opts.K = k
+	h.Workers = foldWorkers
+	h.ModelCacheDir = modelCache
 	fmt.Fprintf(os.Stderr, "characterizing 65 kernel/input combinations at %d configurations (%d iterations)...\n",
 		h.Profiler.Space.Len(), iters)
 	ev, err := h.Run()

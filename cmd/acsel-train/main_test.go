@@ -12,7 +12,7 @@ func TestTrainWritesLoadableModel(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "model.json")
 	profiles := filepath.Join(dir, "profiles.json")
-	if err := run(out, "LULESH", 4, 1, false, profiles, false); err != nil {
+	if err := run(out, "LULESH", 4, 1, false, profiles, "", false); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -34,7 +34,7 @@ func TestTrainWritesLoadableModel(t *testing.T) {
 
 func TestTrainRejectsUnknownHoldout(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(filepath.Join(dir, "m.json"), "NotABenchmark", 5, 1, false, "", false); err == nil {
+	if err := run(filepath.Join(dir, "m.json"), "NotABenchmark", 5, 1, false, "", "", false); err == nil {
 		t.Error("unknown holdout accepted")
 	}
 }
@@ -42,7 +42,7 @@ func TestTrainRejectsUnknownHoldout(t *testing.T) {
 func TestTrainLogTargets(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "model.json")
-	if err := run(out, "", 5, 1, true, "", true); err != nil {
+	if err := run(out, "", 5, 1, true, "", "", true); err != nil {
 		t.Fatal(err)
 	}
 }

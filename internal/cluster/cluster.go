@@ -18,10 +18,15 @@ import (
 )
 
 // DissimilarityMatrix is a symmetric n×n matrix of pairwise
-// dissimilarities with a zero diagonal.
+// dissimilarities with a zero diagonal. A matrix is either a base
+// matrix owning its storage or a Subset view that reindexes a base
+// matrix without copying, so a precomputed suite-wide matrix can be
+// reused across cross-validation folds.
 type DissimilarityMatrix struct {
-	n int
-	d []float64
+	n      int       // logical item count
+	stride int       // row stride of the base storage
+	d      []float64 // base storage, shared with views
+	idx    []int     // nil for base matrices; idx[i] is item i's base row
 }
 
 // NewDissimilarityMatrix allocates an n×n zero matrix.
@@ -29,22 +34,64 @@ func NewDissimilarityMatrix(n int) *DissimilarityMatrix {
 	if n <= 0 {
 		panic(fmt.Sprintf("cluster: non-positive size %d", n))
 	}
-	return &DissimilarityMatrix{n: n, d: make([]float64, n*n)}
+	return &DissimilarityMatrix{n: n, stride: n, d: make([]float64, n*n)}
 }
 
 // Len returns the number of items.
 func (m *DissimilarityMatrix) Len() int { return m.n }
 
-// At returns the dissimilarity between items i and j.
-func (m *DissimilarityMatrix) At(i, j int) float64 { return m.d[i*m.n+j] }
+// item maps a logical index to its base-storage row.
+func (m *DissimilarityMatrix) item(i int) int {
+	if m.idx == nil {
+		return i
+	}
+	return m.idx[i]
+}
 
-// Set assigns the dissimilarity between i and j symmetrically.
+// At returns the dissimilarity between items i and j.
+func (m *DissimilarityMatrix) At(i, j int) float64 {
+	return m.d[m.item(i)*m.stride+m.item(j)]
+}
+
+// Set assigns the dissimilarity between i and j symmetrically. Views
+// returned by Subset are read-only: writing through one would silently
+// corrupt the shared base matrix, so Set panics on them.
 func (m *DissimilarityMatrix) Set(i, j int, v float64) {
+	if m.idx != nil {
+		panic("cluster: Set on a Subset view")
+	}
 	if v < 0 {
 		panic(fmt.Sprintf("cluster: negative dissimilarity %v", v))
 	}
 	m.d[i*m.n+j] = v
 	m.d[j*m.n+i] = v
+}
+
+// IsView reports whether the matrix is a Subset view sharing another
+// matrix's storage.
+func (m *DissimilarityMatrix) IsView() bool { return m.idx != nil }
+
+// Subset returns a read-only view of the rows and columns selected by
+// idx, in idx order: Subset(m, idx).At(a, b) == m.At(idx[a], idx[b]).
+// No dissimilarities are copied or recomputed — the view shares the
+// receiver's storage — which is what lets leave-one-out folds reuse one
+// full-suite matrix instead of rebuilding the O(n²) pairwise Kendall
+// taus per fold. Subsetting a view composes: indices are always
+// relative to the receiver. Duplicate indices are permitted (the
+// resulting items are indistinguishable, at dissimilarity 0);
+// out-of-range indices panic.
+func (m *DissimilarityMatrix) Subset(idx []int) *DissimilarityMatrix {
+	if len(idx) == 0 {
+		panic("cluster: empty Subset")
+	}
+	mapped := make([]int, len(idx))
+	for i, v := range idx {
+		if v < 0 || v >= m.n {
+			panic(fmt.Sprintf("cluster: Subset index %d out of range [0,%d)", v, m.n))
+		}
+		mapped[i] = m.item(v)
+	}
+	return &DissimilarityMatrix{n: len(idx), stride: m.stride, d: m.d, idx: mapped}
 }
 
 // Validate checks symmetry and the zero diagonal, returning a
@@ -61,6 +108,25 @@ func (m *DissimilarityMatrix) Validate() error {
 			}
 			if !stats.AlmostEqual(m.At(i, j), m.At(j, i)) {
 				return fmt.Errorf("cluster: asymmetry at (%d,%d)", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateBounded checks the full matrix contract tests and callers
+// rely on: symmetry, zero diagonal, no NaNs (all via Validate), and
+// every entry within [0, max]. The paper's frontier-order
+// dissimilarities live in [0, 1]; other metrics may pass a different
+// bound.
+func (m *DissimilarityMatrix) ValidateBounded(max float64) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			if d := m.At(i, j); d < 0 || d > max {
+				return fmt.Errorf("cluster: dissimilarity %v at (%d,%d) outside [0,%v]", d, i, j, max)
 			}
 		}
 	}

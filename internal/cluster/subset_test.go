@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// checkMatrixInvariants asserts the contract every dissimilarity matrix
+// in the pipeline must satisfy: symmetry, zero diagonal, no NaNs, and
+// all entries within [0, 1] (the range of the paper's frontier-order
+// dissimilarity). Property tests across packages reuse it via
+// ValidateBounded.
+func checkMatrixInvariants(t *testing.T, m *DissimilarityMatrix) {
+	t.Helper()
+	if err := m.ValidateBounded(1); err != nil {
+		t.Fatalf("matrix invariants violated: %v", err)
+	}
+}
+
+// randomMatrix builds a dense symmetric matrix with entries in [0,1).
+func randomMatrix(n int, rng *rand.Rand) *DissimilarityMatrix {
+	m := NewDissimilarityMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, rng.Float64())
+		}
+	}
+	return m
+}
+
+func TestSubsetMatchesBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := randomMatrix(12, rng)
+	checkMatrixInvariants(t, base)
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(12)
+		idx := rng.Perm(12)[:k]
+		sub := base.Subset(idx)
+		if sub.Len() != k {
+			t.Fatalf("Subset len = %d, want %d", sub.Len(), k)
+		}
+		if !sub.IsView() {
+			t.Fatalf("Subset did not report IsView")
+		}
+		for a := 0; a < k; a++ {
+			for b := 0; b < k; b++ {
+				if got, want := sub.At(a, b), base.At(idx[a], idx[b]); got != want {
+					t.Fatalf("trial %d: Subset.At(%d,%d) = %v, want base.At(%d,%d) = %v",
+						trial, a, b, got, idx[a], idx[b], want)
+				}
+			}
+		}
+		checkMatrixInvariants(t, sub)
+	}
+}
+
+func TestSubsetIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	base := randomMatrix(8, rng)
+	idx := make([]int, base.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sub := base.Subset(idx)
+	for i := 0; i < base.Len(); i++ {
+		for j := 0; j < base.Len(); j++ {
+			if sub.At(i, j) != base.At(i, j) {
+				t.Fatalf("identity subset differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSubsetOfSubsetComposes(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	base := randomMatrix(10, rng)
+	outer := []int{9, 3, 5, 0, 7, 2}
+	inner := []int{4, 0, 2}
+	sub := base.Subset(outer).Subset(inner)
+	for a := range inner {
+		for b := range inner {
+			want := base.At(outer[inner[a]], outer[inner[b]])
+			if got := sub.At(a, b); got != want {
+				t.Fatalf("composed subset At(%d,%d) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+	checkMatrixInvariants(t, sub)
+}
+
+func TestSubsetAllowsDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	base := randomMatrix(6, rng)
+	sub := base.Subset([]int{2, 2, 4})
+	if sub.At(0, 1) != 0 {
+		t.Fatalf("duplicate rows should be zero-distance, got %v", sub.At(0, 1))
+	}
+	if got, want := sub.At(0, 2), base.At(2, 4); got != want {
+		t.Fatalf("At(0,2) = %v, want %v", got, want)
+	}
+}
+
+func TestSubsetSetPanics(t *testing.T) {
+	base := randomMatrix(4, rand.New(rand.NewSource(19)))
+	sub := base.Subset([]int{0, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set on a Subset view did not panic")
+		}
+	}()
+	sub.Set(0, 1, 0.5)
+}
+
+func TestSubsetOutOfRangePanics(t *testing.T) {
+	base := randomMatrix(4, rand.New(rand.NewSource(23)))
+	for _, idx := range [][]int{{-1}, {4}, {0, 1, 7}, {}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Subset(%v) did not panic", idx)
+				}
+			}()
+			base.Subset(idx)
+		}()
+	}
+}
+
+// TestSubsetClusteringMatchesMaterialized checks the property the eval
+// pipeline relies on: PAM over a Subset view equals PAM over a freshly
+// materialized matrix of the same rows.
+func TestSubsetClusteringMatchesMaterialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	base := randomMatrix(14, rng)
+	idx := []int{0, 1, 3, 4, 6, 8, 9, 11, 12, 13}
+	sub := base.Subset(idx)
+	dense := NewDissimilarityMatrix(len(idx))
+	for a := range idx {
+		for b := a + 1; b < len(idx); b++ {
+			dense.Set(a, b, base.At(idx[a], idx[b]))
+		}
+	}
+	rv, err := PAM(sub, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := PAM(dense, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rv.Cost-rd.Cost) > 1e-12 {
+		t.Fatalf("PAM cost differs: view %v, dense %v", rv.Cost, rd.Cost)
+	}
+	for i := range rv.Assignments {
+		if rv.Assignments[i] != rd.Assignments[i] {
+			t.Fatalf("assignment %d differs: view %d, dense %d", i, rv.Assignments[i], rd.Assignments[i])
+		}
+	}
+}
+
+func TestValidateBoundedRejectsOutOfRange(t *testing.T) {
+	m := NewDissimilarityMatrix(3)
+	m.Set(0, 1, 1.5)
+	if err := m.ValidateBounded(1); err == nil {
+		t.Fatal("ValidateBounded(1) accepted an entry of 1.5")
+	}
+	if err := m.ValidateBounded(2); err != nil {
+		t.Fatalf("ValidateBounded(2) rejected 1.5: %v", err)
+	}
+}

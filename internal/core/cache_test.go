@@ -1,0 +1,168 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// assertSamePredictions fails unless a and b classify and predict
+// identically for the given profiles.
+func assertSamePredictions(t *testing.T, a, b *Model, profs []*KernelProfile) {
+	t.Helper()
+	for _, kp := range profs {
+		sr := SampleRuns{CPU: kp.CPUSample, GPU: kp.GPUSample}
+		ca, err := a.Classify(sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := b.Classify(sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ca != cb {
+			t.Fatalf("%s: classification differs (%d vs %d)", kp.KernelID, ca, cb)
+		}
+		pa, _, err := a.PredictAll(sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, _, err := b.PredictAll(sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range pa {
+			if pa[i].Perf != pb[i].Perf || pa[i].PowerW != pb[i].PowerW {
+				t.Fatalf("%s config %d: predictions differ", kp.KernelID, i)
+			}
+		}
+	}
+}
+
+// cacheEntry returns the single model-*.json file in dir.
+func cacheEntry(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := filepath.Glob(filepath.Join(dir, "model-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("cache holds %d entries, want 1: %v", len(entries), entries)
+	}
+	return entries[0]
+}
+
+func TestTrainCachedRoundTrip(t *testing.T) {
+	profs, _, space := trained(t)
+	opts := DefaultTrainOptions()
+	opts.Iterations = 2
+	dir := t.TempDir()
+
+	m1, hit, err := TrainCached(space, profs, opts, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first TrainCached reported a hit on an empty cache")
+	}
+	cacheEntry(t, dir)
+
+	m2, hit, err := TrainCached(space, profs, opts, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("second TrainCached missed a populated cache")
+	}
+	assertSamePredictions(t, m1, m2, profs)
+}
+
+func TestTrainCachedKeySensitivity(t *testing.T) {
+	profs, _, space := trained(t)
+	opts := DefaultTrainOptions()
+	k1 := ModelCacheKey(space, profs, opts)
+	if k2 := ModelCacheKey(space, profs, opts); k2 != k1 {
+		t.Fatal("cache key not deterministic")
+	}
+	opts2 := opts
+	opts2.Seed++
+	if ModelCacheKey(space, profs, opts2) == k1 {
+		t.Fatal("seed change did not change the cache key")
+	}
+	if ModelCacheKey(space, profs[:len(profs)-1], opts) == k1 {
+		t.Fatal("dropping a profile did not change the cache key")
+	}
+	bumped := *profs[0]
+	bumped.TimeShare += 1e-9
+	swapped := append([]*KernelProfile{&bumped}, profs[1:]...)
+	if ModelCacheKey(space, swapped, opts) == k1 {
+		t.Fatal("perturbing a measurement did not change the cache key")
+	}
+}
+
+func TestTrainCachedDisabledByEmptyDir(t *testing.T) {
+	profs, _, space := trained(t)
+	opts := DefaultTrainOptions()
+	opts.Iterations = 2
+	m, hit, err := TrainCached(space, profs, opts, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || m == nil {
+		t.Fatalf("empty dir: hit=%v model=%v", hit, m != nil)
+	}
+}
+
+// TestTrainCachedCorruptEntryFallsBack covers the failure ladder: a
+// corrupt or truncated cache entry must silently retrain (counting into
+// acsel_core_model_cache_invalid_total), never surface an error, and
+// leave a valid entry behind.
+func TestTrainCachedCorruptEntryFallsBack(t *testing.T) {
+	profs, _, space := trained(t)
+	opts := DefaultTrainOptions()
+	opts.Iterations = 2
+	dir := t.TempDir()
+
+	m1, _, err := TrainCached(space, profs, opts, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := cacheEntry(t, dir)
+
+	for _, corrupt := range []struct {
+		name string
+		mut  func() error
+	}{
+		{"garbage", func() error { return os.WriteFile(path, []byte("{not json"), 0o644) }},
+		{"truncated", func() error {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(path, data[:len(data)/2], 0o644)
+		}},
+		{"empty", func() error { return os.WriteFile(path, nil, 0o644) }},
+	} {
+		t.Run(corrupt.name, func(t *testing.T) {
+			if err := corrupt.mut(); err != nil {
+				t.Fatal(err)
+			}
+			before := mModelCacheInvalid.Value()
+			m, hit, err := TrainCached(space, profs, opts, dir)
+			if err != nil {
+				t.Fatalf("corrupt entry surfaced an error: %v", err)
+			}
+			if hit {
+				t.Fatal("corrupt entry reported as a hit")
+			}
+			if got := mModelCacheInvalid.Value() - before; got != 1 {
+				t.Fatalf("model_cache_invalid_total delta = %v, want 1", got)
+			}
+			assertSamePredictions(t, m1, m, profs[:6])
+			// The retrain must have healed the entry: next lookup hits.
+			if _, hit, err := TrainCached(space, profs, opts, dir); err != nil || !hit {
+				t.Fatalf("after retrain: hit=%v err=%v", hit, err)
+			}
+		})
+	}
+}

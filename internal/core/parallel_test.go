@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestDissimilarityWorkersEquivalent is the determinism contract of the
+// parallel pair computation: any worker count produces exactly the same
+// matrix, bit for bit, because each pair depends only on its two
+// profiles and each goroutine writes disjoint cells.
+func TestDissimilarityWorkersEquivalent(t *testing.T) {
+	profs, _, _ := trained(t)
+	seq := DissimilarityMatrixWorkers(profs, 1)
+	for _, workers := range []int{2, 4, 8} {
+		par := DissimilarityMatrixWorkers(profs, workers)
+		if par.Len() != seq.Len() {
+			t.Fatalf("workers=%d: len %d, want %d", workers, par.Len(), seq.Len())
+		}
+		for i := 0; i < seq.Len(); i++ {
+			for j := 0; j < seq.Len(); j++ {
+				if par.At(i, j) != seq.At(i, j) {
+					t.Fatalf("workers=%d: At(%d,%d) = %v, want %v",
+						workers, i, j, par.At(i, j), seq.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// TestSubsetMatchesRecomputation is the property the fold pipeline rests
+// on: a Subset view over the full-suite matrix holds exactly the values
+// a fresh DissimilarityMatrix over the selected profiles would compute.
+// Exact equality (not epsilon) is intentional — each pair value is a
+// pure function of its two profiles, so reuse must be bit-identical.
+func TestSubsetMatchesRecomputation(t *testing.T) {
+	profs, _, _ := trained(t)
+	full := DissimilarityMatrix(profs)
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		k := 2 + rng.Intn(len(profs)-2)
+		idx := rng.Perm(len(profs))[:k]
+		view := full.Subset(idx)
+		sub := make([]*KernelProfile, k)
+		for i, v := range idx {
+			sub[i] = profs[v]
+		}
+		fresh := DissimilarityMatrix(sub)
+		for a := 0; a < k; a++ {
+			for b := 0; b < k; b++ {
+				if got, want := view.At(a, b), fresh.At(a, b); got != want {
+					t.Fatalf("trial %d: view.At(%d,%d) = %v, recomputed = %v",
+						trial, a, b, got, want)
+				}
+			}
+		}
+		if err := view.ValidateBounded(1); err != nil {
+			t.Fatalf("trial %d: subset view invariants: %v", trial, err)
+		}
+	}
+}
+
+// TestTrainWithDissimilarityMatchesTrain checks that handing Train a
+// precomputed matrix yields the identical model to letting it compute
+// its own.
+func TestTrainWithDissimilarityMatchesTrain(t *testing.T) {
+	profs, _, space := trained(t)
+	opts := DefaultTrainOptions()
+	opts.Iterations = 2
+	base, err := Train(space, profs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := DissimilarityMatrix(profs)
+	pre, err := TrainWithDissimilarity(space, profs, dis, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.Assignments, pre.Assignments) {
+		t.Fatalf("assignments differ:\nbase %v\npre  %v", base.Assignments, pre.Assignments)
+	}
+	if !reflect.DeepEqual(base.Clusters, pre.Clusters) {
+		t.Fatal("cluster regressions differ between Train and TrainWithDissimilarity")
+	}
+	if !reflect.DeepEqual(base.Tree, pre.Tree) {
+		t.Fatal("classifier trees differ between Train and TrainWithDissimilarity")
+	}
+}
+
+// TestTrainWithDissimilaritySizeMismatch checks the defensive error for
+// a matrix whose dimension does not match the profile count.
+func TestTrainWithDissimilaritySizeMismatch(t *testing.T) {
+	profs, _, space := trained(t)
+	dis := DissimilarityMatrix(profs[:10])
+	if _, err := TrainWithDissimilarity(space, profs, dis, DefaultTrainOptions()); err == nil {
+		t.Fatal("size-mismatched matrix accepted")
+	}
+}

@@ -127,28 +127,64 @@ func characterizeOne(p *profiler.Profiler, k kernels.Kernel, opts TrainOptions) 
 // order both carry signal, so similarity is (τ+1)/2 · Jaccard and
 // dissimilarity its complement. Pairs sharing fewer than two frontier
 // configurations get the maximum dissimilarity of 1.
+//
+// Pair computation runs on up to GOMAXPROCS workers; each pair depends
+// only on its two profiles, so the result is identical to the
+// sequential computation bit for bit.
 func DissimilarityMatrix(profiles []*KernelProfile) *cluster.DissimilarityMatrix {
+	return DissimilarityMatrixWorkers(profiles, runtime.GOMAXPROCS(0))
+}
+
+// DissimilarityMatrixWorkers is DissimilarityMatrix with an explicit
+// worker-pool bound; workers <= 1 computes sequentially. Exposed so
+// benchmarks and the evaluation harness can pin the concurrency level.
+func DissimilarityMatrixWorkers(profiles []*KernelProfile, workers int) *cluster.DissimilarityMatrix {
 	n := len(profiles)
 	m := cluster.NewDissimilarityMatrix(n)
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			ra, rb, shared := pareto.SharedOrder(profiles[i].Frontier, profiles[j].Frontier)
-			if len(ra) < 2 {
-				m.Set(i, j, 1)
-				continue
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				m.Set(i, j, pairDissimilarity(profiles[i], profiles[j]))
 			}
-			tau, err := stats.KendallTauRanks(ra, rb)
-			if err != nil {
-				m.Set(i, j, 1)
-				continue
-			}
-			union := profiles[i].Frontier.Len() + profiles[j].Frontier.Len() - len(shared)
-			jaccard := float64(len(shared)) / float64(union)
-			similarity := (tau + 1) / 2 * jaccard
-			m.Set(i, j, 1-similarity)
 		}
+		return m
 	}
+	// One task per row, bounded by the semaphore-before-spawn pattern
+	// (see Characterize): row i owns every (i, j>i) pair, so no two
+	// workers ever touch the same cell and the result is deterministic.
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			for j := i + 1; j < n; j++ {
+				m.Set(i, j, pairDissimilarity(profiles[i], profiles[j]))
+			}
+		}(i)
+	}
+	wg.Wait()
 	return m
+}
+
+// pairDissimilarity compares two kernels' frontier orderings: 1 −
+// (τ+1)/2 · Jaccard, with maximum dissimilarity when fewer than two
+// configurations are shared.
+func pairDissimilarity(a, b *KernelProfile) float64 {
+	ra, rb, shared := pareto.SharedOrder(a.Frontier, b.Frontier)
+	if len(ra) < 2 {
+		return 1
+	}
+	tau, err := stats.KendallTauRanks(ra, rb)
+	if err != nil {
+		return 1
+	}
+	union := a.Frontier.Len() + b.Frontier.Len() - len(shared)
+	jaccard := float64(len(shared)) / float64(union)
+	similarity := (tau + 1) / 2 * jaccard
+	return 1 - similarity
 }
 
 // ErrTooFewKernels is returned when training lacks enough kernels for
@@ -158,6 +194,17 @@ var ErrTooFewKernels = errors.New("core: too few training kernels")
 // Train runs the complete offline stage on characterized profiles and
 // returns the fitted model.
 func Train(space *apu.Space, profiles []*KernelProfile, opts TrainOptions) (*Model, error) {
+	return TrainWithDissimilarity(space, profiles, nil, opts)
+}
+
+// TrainWithDissimilarity is Train with an optional precomputed
+// dissimilarity matrix over exactly these profiles (in order). A nil
+// matrix is computed from scratch; a non-nil one — typically a Subset
+// view of a suite-wide matrix — skips the O(n²) pairwise Kendall-tau
+// stage, which is what makes leave-one-out retraining cheap. Because
+// each matrix entry depends only on its two profiles, a reused matrix
+// yields a model identical to a fresh computation.
+func TrainWithDissimilarity(space *apu.Space, profiles []*KernelProfile, dis *cluster.DissimilarityMatrix, opts TrainOptions) (*Model, error) {
 	if opts.K <= 0 {
 		opts.K = 5
 	}
@@ -178,7 +225,12 @@ func Train(space *apu.Space, profiles []*KernelProfile, opts TrainOptions) (*Mod
 
 	// 1. Relational clustering on frontier-order dissimilarity.
 	stopCluster := mPhaseSeconds.With("cluster").Time()
-	dis := DissimilarityMatrix(profiles)
+	if dis == nil {
+		dis = DissimilarityMatrix(profiles)
+	} else if dis.Len() != len(profiles) {
+		stopCluster()
+		return nil, fmt.Errorf("core: dissimilarity matrix is %d×%d for %d profiles", dis.Len(), dis.Len(), len(profiles))
+	}
 	clu, err := cluster.PAM(dis, opts.K, opts.Seed)
 	stopCluster()
 	if err != nil {

@@ -9,8 +9,11 @@ package eval
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
+	"acsel/internal/cluster"
 	"acsel/internal/core"
 	"acsel/internal/kernels"
 	"acsel/internal/profiler"
@@ -119,6 +122,19 @@ type Harness struct {
 	Opts     core.TrainOptions
 	// MethodsUnderTest defaults to sched.Methods().
 	MethodsUnderTest []sched.Method
+	// Workers bounds how many cross-validation folds train and
+	// evaluate concurrently; 0 means GOMAXPROCS, 1 forces the
+	// sequential path. Every worker count produces an identical
+	// Evaluation: folds are independent, each is seeded by its own
+	// copy of Opts, and results assemble in fold order.
+	Workers int
+	// ModelCacheDir, when non-empty, routes fold training through the
+	// content-addressed model cache (core.TrainCached): re-running the
+	// same evaluation reloads each fold's model instead of retraining.
+	ModelCacheDir string
+	// varAwareZ is the §VI variance-aware selection margin the
+	// extension study threads into every fold's runner (0 disables).
+	varAwareZ float64
 }
 
 // NewHarness builds a harness with the paper's defaults.
@@ -131,10 +147,6 @@ func NewHarness() *Harness {
 // every method on the held-out kernels at the oracle-frontier power
 // caps (§V-B).
 func (h *Harness) Run() (*Evaluation, error) {
-	methods := h.MethodsUnderTest
-	if len(methods) == 0 {
-		methods = sched.Methods()
-	}
 	var ks []kernels.Kernel
 	for _, c := range kernels.Combos() {
 		ks = append(ks, c.Kernels...)
@@ -145,7 +157,24 @@ func (h *Harness) Run() (*Evaluation, error) {
 	if err != nil {
 		return nil, fmt.Errorf("eval: characterize: %w", err)
 	}
+	return h.RunOnProfiles(profiles)
+}
 
+// RunOnProfiles runs the cross-validated evaluation over an existing
+// characterization — the incremental entry point: a caller holding
+// fresh profiles (a re-characterized machine, an adaptive-retraining
+// loop, a benchmark) pays only for folding, never for re-profiling.
+//
+// The suite-wide dissimilarity matrix is computed once; every fold
+// reuses it through a Subset view instead of rebuilding its own O(n²)
+// pairwise Kendall taus. Folds then train and evaluate on up to
+// h.Workers goroutines. Both levels of concurrency are deterministic —
+// the Evaluation is identical for any worker count, bit for bit.
+func (h *Harness) RunOnProfiles(profiles []*core.KernelProfile) (*Evaluation, error) {
+	methods := h.MethodsUnderTest
+	if len(methods) == 0 {
+		methods = sched.Methods()
+	}
 	ev := &Evaluation{FoldModels: map[string]*core.Model{}, Profiles: profiles}
 	benchNames := map[string]bool{}
 	for _, kp := range profiles {
@@ -157,39 +186,93 @@ func (h *Harness) Run() (*Evaluation, error) {
 	}
 	sort.Strings(benches)
 
-	stopFolds := mEvalPhase.With("folds").Time()
-	for _, bench := range benches {
-		stopFold := mFoldSeconds.Time()
-		var train []*core.KernelProfile
-		var test []*core.KernelProfile
-		for _, kp := range profiles {
-			if kp.Benchmark == bench {
-				test = append(test, kp)
-			} else {
-				train = append(train, kp)
-			}
-		}
-		model, err := core.Train(h.Profiler.Space, train, h.Opts)
-		if err != nil {
-			return nil, fmt.Errorf("eval: training fold %q: %w", bench, err)
-		}
-		ev.FoldModels[bench] = model
-		runner := &sched.Runner{Space: h.Profiler.Space, Model: model}
-		for _, kp := range test {
-			cases, err := evaluateKernel(runner, kp, methods)
-			if err != nil {
-				return nil, fmt.Errorf("eval: kernel %s: %w", kp.KernelID, err)
-			}
-			ev.Cases = append(ev.Cases, cases...)
-		}
-		stopFold()
+	stopMatrix := mMatrixSeconds.With("full").Time()
+	fullDis := core.DissimilarityMatrix(profiles)
+	stopMatrix()
+
+	workers := h.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+
+	// Each fold writes only its own slot; results are stitched together
+	// in bench order afterwards, so the Cases sequence (and therefore
+	// every aggregate and report) matches the sequential path exactly.
+	type foldResult struct {
+		model *core.Model
+		cases []Case
+		err   error
+	}
+	results := make([]foldResult, len(benches))
+	stopFolds := mEvalPhase.With("folds").Time()
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for bi, bench := range benches {
+		// Semaphore before spawn (see core.Characterize): never more
+		// than `workers` fold goroutines exist at once.
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(bi int, bench string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			mFoldWorkers.Add(1)
+			defer mFoldWorkers.Add(-1)
+			model, cases, err := h.runFold(profiles, bench, fullDis, methods)
+			results[bi] = foldResult{model: model, cases: cases, err: err}
+		}(bi, bench)
+	}
+	wg.Wait()
 	stopFolds()
+
+	for bi, bench := range benches {
+		if err := results[bi].err; err != nil {
+			return nil, fmt.Errorf("eval: fold %q: %w", bench, err)
+		}
+		ev.FoldModels[bench] = results[bi].model
+		ev.Cases = append(ev.Cases, results[bi].cases...)
+	}
 
 	stopAgg := mEvalPhase.With("aggregate").Time()
 	ev.aggregate(methods)
 	stopAgg()
 	return ev, nil
+}
+
+// runFold trains one leave-one-benchmark-out fold — reusing the
+// suite-wide dissimilarity matrix through a Subset view — and evaluates
+// every method on the held-out kernels. The fold trains from its own
+// copy of h.Opts, so its clustering seed is the same deterministic
+// value the sequential path would use.
+func (h *Harness) runFold(profiles []*core.KernelProfile, bench string, fullDis *cluster.DissimilarityMatrix, methods []sched.Method) (*core.Model, []Case, error) {
+	defer mFoldSeconds.Time()()
+	var train, test []*core.KernelProfile
+	var trainIdx []int
+	for i, kp := range profiles {
+		if kp.Benchmark == bench {
+			test = append(test, kp)
+		} else {
+			train = append(train, kp)
+			trainIdx = append(trainIdx, i)
+		}
+	}
+	stopSub := mMatrixSeconds.With("subset").Time()
+	dis := fullDis.Subset(trainIdx)
+	stopSub()
+	opts := h.Opts
+	model, _, err := core.TrainCachedWithDissimilarity(h.Profiler.Space, train, dis, opts, h.ModelCacheDir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("training: %w", err)
+	}
+	runner := &sched.Runner{Space: h.Profiler.Space, Model: model, VarAwareZ: h.varAwareZ}
+	var out []Case
+	for _, kp := range test {
+		cases, err := evaluateKernel(runner, kp, methods)
+		if err != nil {
+			return nil, nil, fmt.Errorf("kernel %s: %w", kp.KernelID, err)
+		}
+		out = append(out, cases...)
+	}
+	return model, out, nil
 }
 
 // evaluateKernel runs every method at every oracle-frontier power level

@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"acsel/internal/core"
-	"acsel/internal/kernels"
 	"acsel/internal/sched"
 )
 
@@ -66,47 +64,12 @@ func RunExtensionStudy(iterations int) ([]ExtensionResult, error) {
 	return out, nil
 }
 
-// runWithVarAware mirrors Harness.Run but threads the variance-aware
-// margin into each fold's runner.
+// runWithVarAware is Harness.Run with the variance-aware margin
+// threaded into each fold's runner, sharing the incremental pipeline
+// (one dissimilarity matrix, parallel folds) with the base evaluation.
 func runWithVarAware(h *Harness, z float64) (*Evaluation, error) {
-	methods := h.MethodsUnderTest
-	if len(methods) == 0 {
-		methods = sched.Methods()
-	}
-	var ks []kernels.Kernel
-	for _, c := range kernels.Combos() {
-		ks = append(ks, c.Kernels...)
-	}
-	profiles, err := core.Characterize(h.Profiler, ks, h.Opts)
-	if err != nil {
-		return nil, err
-	}
-	ev := &Evaluation{FoldModels: map[string]*core.Model{}, Profiles: profiles}
-	for _, bench := range benchmarkNames(profiles) {
-		var train, test []*core.KernelProfile
-		for _, kp := range profiles {
-			if kp.Benchmark == bench {
-				test = append(test, kp)
-			} else {
-				train = append(train, kp)
-			}
-		}
-		model, err := core.Train(h.Profiler.Space, train, h.Opts)
-		if err != nil {
-			return nil, err
-		}
-		ev.FoldModels[bench] = model
-		runner := &sched.Runner{Space: h.Profiler.Space, Model: model, VarAwareZ: z}
-		for _, kp := range test {
-			cases, err := evaluateKernel(runner, kp, methods)
-			if err != nil {
-				return nil, err
-			}
-			ev.Cases = append(ev.Cases, cases...)
-		}
-	}
-	ev.aggregate(methods)
-	return ev, nil
+	h.varAwareZ = z
+	return h.Run()
 }
 
 // ReportExtensionStudy renders the study as a table.
@@ -122,16 +85,4 @@ func ReportExtensionStudy(results []ExtensionResult) string {
 			r.ModelFLPctUnder*100, r.ModelFLUnderPerf*100)
 	}
 	return b.String()
-}
-
-func benchmarkNames(profiles []*core.KernelProfile) []string {
-	seen := map[string]bool{}
-	var names []string
-	for _, kp := range profiles {
-		if !seen[kp.Benchmark] {
-			seen[kp.Benchmark] = true
-			names = append(names, kp.Benchmark)
-		}
-	}
-	return names
 }

@@ -15,4 +15,10 @@ var (
 		metrics.TimeBuckets)
 	mInfeasibleCases = metrics.NewCounter("acsel_eval_infeasible_cases_total",
 		"Evaluation cases whose cap was infeasible for every configuration (oracle fell back above the cap).")
+	//lint:ignore metricname dimensionless concurrency level; no unit suffix applies
+	mFoldWorkers = metrics.NewGauge("acsel_eval_fold_workers",
+		"Cross-validation folds currently training and evaluating concurrently.")
+	mMatrixSeconds = metrics.NewHistogramVec("acsel_eval_matrix_seconds",
+		"Wall time obtaining dissimilarity matrices: mode full is the one-off suite-wide computation, mode subset each fold's zero-copy reuse view.",
+		metrics.TimeBuckets, "mode")
 )

@@ -1,0 +1,102 @@
+package pareto
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// frontierFromBytes decodes a fuzz byte string into candidate points —
+// 9 bytes each: one ID byte (mod 32, so cross-frontier overlap is
+// likely) and two float32 bit patterns for power and performance, which
+// lets the mutator reach NaN, infinities, and denormals.
+func frontierFromBytes(data []byte) *Frontier {
+	var pts []Point
+	for len(data) >= 9 {
+		pts = append(pts, Point{
+			ID:    int(data[0] % 32),
+			Power: float64(math.Float32frombits(binary.LittleEndian.Uint32(data[1:5]))),
+			Perf:  float64(math.Float32frombits(binary.LittleEndian.Uint32(data[5:9]))),
+		})
+		data = data[9:]
+	}
+	return New(pts)
+}
+
+// seedPoints packs (id, power, perf) triples into the fuzz encoding.
+func seedPoints(triples ...[3]float64) []byte {
+	var out []byte
+	for _, tr := range triples {
+		var b [9]byte
+		b[0] = byte(int(tr[0]))
+		binary.LittleEndian.PutUint32(b[1:5], math.Float32bits(float32(tr[1])))
+		binary.LittleEndian.PutUint32(b[5:9], math.Float32bits(float32(tr[2])))
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+// FuzzSharedOrder drives arbitrary point clouds through frontier
+// extraction and the shared-order pairing, asserting the invariants
+// the dissimilarity computation relies on: frontiers strictly increase
+// in both power and performance, the three SharedOrder slices stay
+// parallel, ranks index real frontier positions, ranksA strictly
+// increases, and every returned ID names the same configuration at
+// both ranks.
+func FuzzSharedOrder(f *testing.F) {
+	f.Add(
+		seedPoints([3]float64{1, 10, 1}, [3]float64{2, 20, 2}, [3]float64{3, 30, 3}),
+		seedPoints([3]float64{3, 5, 1}, [3]float64{2, 15, 2}, [3]float64{1, 25, 3}),
+	)
+	f.Add(
+		seedPoints([3]float64{0, 10, 5}, [3]float64{0, 10, 5}, [3]float64{1, 12, 4}),
+		seedPoints([3]float64{0, 8, 2}),
+	)
+	f.Add(seedPoints([3]float64{4, math.NaN(), 1}, [3]float64{5, 3, math.Inf(1)}), []byte{})
+	f.Add([]byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, da, db []byte) {
+		fa := frontierFromBytes(da)
+		fb := frontierFromBytes(db)
+		checkFrontierInvariants(t, fa)
+		checkFrontierInvariants(t, fb)
+
+		ranksA, ranksB, ids := SharedOrder(fa, fb)
+		if len(ranksA) != len(ranksB) || len(ranksA) != len(ids) {
+			t.Fatalf("slices not parallel: %d/%d/%d", len(ranksA), len(ranksB), len(ids))
+		}
+		apts, bpts := fa.Points(), fb.Points()
+		for k := range ids {
+			if ranksA[k] < 0 || ranksA[k] >= len(apts) || ranksB[k] < 0 || ranksB[k] >= len(bpts) {
+				t.Fatalf("rank out of range at %d: a=%d b=%d", k, ranksA[k], ranksB[k])
+			}
+			if apts[ranksA[k]].ID != ids[k] {
+				t.Fatalf("ids[%d]=%d but frontier a holds %d at rank %d", k, ids[k], apts[ranksA[k]].ID, ranksA[k])
+			}
+			if bpts[ranksB[k]].ID != ids[k] {
+				t.Fatalf("ids[%d]=%d but frontier b holds %d at rank %d", k, ids[k], bpts[ranksB[k]].ID, ranksB[k])
+			}
+			if k > 0 && ranksA[k] <= ranksA[k-1] {
+				t.Fatalf("ranksA not strictly increasing: %v", ranksA)
+			}
+		}
+	})
+}
+
+// checkFrontierInvariants asserts what New promises: finite-or-infinite
+// (never NaN) coordinates and strictly increasing power and performance
+// along the frontier.
+func checkFrontierInvariants(t *testing.T, f *Frontier) {
+	t.Helper()
+	pts := f.Points()
+	for i, p := range pts {
+		if math.IsNaN(p.Power) || math.IsNaN(p.Perf) {
+			t.Fatalf("NaN survived frontier extraction at %d: %+v", i, p)
+		}
+		if i > 0 {
+			prev := pts[i-1]
+			if !(p.Power > prev.Power) || !(p.Perf > prev.Perf) {
+				t.Fatalf("frontier not strictly increasing at %d: %+v then %+v", i, prev, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// ranksFromBytes decodes a fuzz byte string into an integer rank list:
+// one signed byte per rank, so ties, negatives, and reversals all occur
+// naturally under mutation.
+func ranksFromBytes(data []byte) []int {
+	out := make([]int, len(data))
+	for i, b := range data {
+		out[i] = int(int8(b))
+	}
+	return out
+}
+
+// FuzzKendallTauRanks holds the tau-b contract under arbitrary rank
+// lists: never panic, never return NaN or a value outside [-1, 1],
+// stay symmetric in its arguments, score an identical untied ranking
+// as exactly 1, and reject fewer than two pairs with ErrTooFew.
+func FuzzKendallTauRanks(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4}, []byte{0, 1, 2, 3, 4}) // identical
+	f.Add([]byte{0, 1, 2, 3, 4}, []byte{4, 3, 2, 1, 0}) // reversed
+	f.Add([]byte{0, 0, 1, 1}, []byte{1, 1, 0, 0})       // tied blocks
+	f.Add([]byte{5, 5, 5}, []byte{1, 2, 3})             // x fully tied
+	f.Add([]byte{}, []byte{})                           // empty
+	f.Add([]byte{7}, []byte{9})                         // single pair
+	f.Add([]byte{255, 0, 128}, []byte{1, 254, 3})       // negatives via int8
+	f.Fuzz(func(t *testing.T, da, db []byte) {
+		n := len(da)
+		if len(db) < n {
+			n = len(db)
+		}
+		x := ranksFromBytes(da[:n])
+		y := ranksFromBytes(db[:n])
+
+		tau, err := KendallTauRanks(x, y)
+		if n < 2 {
+			if !errors.Is(err, ErrTooFew) {
+				t.Fatalf("n=%d: err = %v, want ErrTooFew", n, err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if math.IsNaN(tau) || tau < -1 || tau > 1 {
+			t.Fatalf("tau = %v outside [-1, 1] for x=%v y=%v", tau, x, y)
+		}
+
+		// Symmetry: swapping the rankings swaps the two tie counts but
+		// leaves both the numerator and the denominator product intact.
+		rev, err := KendallTauRanks(y, x)
+		if err != nil {
+			t.Fatalf("symmetric call errored: %v", err)
+		}
+		if tau != rev {
+			t.Fatalf("asymmetric: tau(x,y)=%v tau(y,x)=%v", tau, rev)
+		}
+
+		// Self-correlation of an untied list is exactly 1.
+		if self, err := KendallTauRanks(x, x); err == nil && !hasTies(x) && self != 1 {
+			t.Fatalf("tau(x,x) = %v, want 1 for untied x=%v", self, x)
+		}
+
+		// The derived dissimilarity must stay in [0, 1].
+		if d := RankDissimilarity(tau); d < 0 || d > 1 || math.IsNaN(d) {
+			t.Fatalf("RankDissimilarity(%v) = %v outside [0, 1]", tau, d)
+		}
+	})
+}
+
+func hasTies(x []int) bool {
+	seen := map[int]bool{}
+	for _, v := range x {
+		if seen[v] {
+			return true
+		}
+		seen[v] = true
+	}
+	return false
+}
