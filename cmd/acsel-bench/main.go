@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -258,20 +259,16 @@ func exportCSV(dir string, ev *eval.Evaluation) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	pf, err := os.Create(filepath.Join(dir, "profiles.csv"))
+	err := trace.WriteFile(filepath.Join(dir, "profiles.csv"), func(w io.Writer) error {
+		return trace.WriteProfilesCSV(w, ev.Profiles)
+	})
 	if err != nil {
 		return err
 	}
-	defer pf.Close()
-	if err := trace.WriteProfilesCSV(pf, ev.Profiles); err != nil {
-		return err
-	}
-	cf, err := os.Create(filepath.Join(dir, "cases.csv"))
+	err = trace.WriteFile(filepath.Join(dir, "cases.csv"), func(w io.Writer) error {
+		return trace.WriteCasesCSV(w, ev.Cases)
+	})
 	if err != nil {
-		return err
-	}
-	defer cf.Close()
-	if err := trace.WriteCasesCSV(cf, ev.Cases); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "CSV exports written to %s\n", dir)

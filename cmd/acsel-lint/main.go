@@ -6,11 +6,20 @@
 //
 // Usage:
 //
-//	acsel-lint [-checks list] [-list] [packages]
+//	acsel-lint [-checks list] [-list] [-fix] [-sarif file] [-cache] [packages]
 //
 // Package patterns follow the go tool: ./... (default), ./internal/rts,
 // ./internal/... . Findings are suppressed at the site with
 // //lint:ignore <check> <reason>; see internal/lint.
+//
+// -fix applies each finding's suggested fix (when one exists), gofmts
+// and atomically rewrites the touched files, then re-runs the analyzers
+// so the exit status reflects what remains; a second -fix run is a
+// no-op. -sarif writes a SARIF 2.1.0 log for CI annotation ("-" for
+// stdout). -cache keys the whole run by a SHA-256 over the module's Go
+// files and the analyzer suite versions, short-circuiting unchanged
+// re-runs (see internal/lint/cache.go); -cache-dir overrides the
+// per-user default location.
 package main
 
 import (
@@ -33,6 +42,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	list := fs.Bool("list", false, "list available checks and exit")
 	dir := fs.String("C", ".", "module root directory (must contain go.mod)")
+	fix := fs.Bool("fix", false, "apply suggested fixes, then re-run and report what remains")
+	sarifOut := fs.String("sarif", "", "write findings as SARIF 2.1.0 to this file (\"-\" for stdout)")
+	useCache := fs.Bool("cache", false, "reuse cached results when the module content and analyzer suite are unchanged")
+	cacheDir := fs.String("cache-dir", "", "lint result cache directory (default: user cache dir/acsel-lint)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -56,23 +69,96 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	diags, err := lint.Run(root, fs.Args(), analyzers)
+	diags, err := runLint(root, fs.Args(), analyzers, *useCache, *cacheDir, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	for _, d := range diags {
-		// Print module-relative paths: stable across machines and CI.
-		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
-			d.Pos.Filename = rel
+
+	if *fix {
+		res, err := lint.ApplyFixes(diags)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
-		fmt.Fprintln(stdout, d.String())
+		for _, f := range res.ChangedFiles {
+			if rel, err := filepath.Rel(root, f); err == nil {
+				f = rel
+			}
+			fmt.Fprintf(stderr, "acsel-lint: fixed %s\n", f)
+		}
+		if res.Skipped > 0 {
+			fmt.Fprintf(stderr, "acsel-lint: %d conflicting fix(es) skipped; re-run -fix\n", res.Skipped)
+		}
+		if len(res.ChangedFiles) > 0 {
+			// Fixed files changed on disk: the remaining findings (and the
+			// cache key) must come from a fresh run.
+			diags, err = runLint(root, fs.Args(), analyzers, *useCache, *cacheDir, stderr)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+		}
+	}
+
+	if *sarifOut != "" {
+		w := stdout
+		if *sarifOut != "-" {
+			f, err := os.Create(*sarifOut)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			werr := lint.WriteSARIF(f, root, diags, analyzers)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintln(stderr, werr)
+				return 2
+			}
+		} else if err := lint.WriteSARIF(w, root, diags, analyzers); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+
+	if *sarifOut != "-" {
+		for _, d := range diags {
+			// Print module-relative paths: stable across machines and CI.
+			if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+				d.Pos.Filename = rel
+			}
+			fmt.Fprintln(stdout, d.String())
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "acsel-lint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// runLint dispatches to the cached or direct runner.
+func runLint(root string, patterns []string, analyzers []*lint.Analyzer, useCache bool, cacheDir string, stderr io.Writer) ([]lint.Diagnostic, error) {
+	if !useCache {
+		return lint.Run(root, patterns, analyzers)
+	}
+	if cacheDir == "" {
+		var err error
+		cacheDir, err = lint.DefaultCacheDir()
+		if err != nil {
+			return nil, err
+		}
+	}
+	diags, hit, err := lint.RunCached(root, patterns, analyzers, cacheDir)
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		fmt.Fprintln(stderr, "acsel-lint: cache hit")
+	}
+	return diags, nil
 }
 
 // findModuleRoot walks upward from dir to the nearest go.mod.

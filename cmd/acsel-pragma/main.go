@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"acsel/internal/pragma"
+	"acsel/internal/trace"
 )
 
 func main() {
@@ -53,16 +54,15 @@ func run(in, out string, list bool) error {
 		return nil
 	}
 
-	w := os.Stdout
 	if out != "" {
-		f, err := os.Create(out)
+		err := trace.WriteFile(out, func(w io.Writer) error {
+			_, err := io.WriteString(w, rewritten)
+			return err
+		})
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
-	}
-	if _, err := io.WriteString(w, rewritten); err != nil {
+	} else if _, err := io.WriteString(os.Stdout, rewritten); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "instrumented %d kernel site(s)\n", len(sites))

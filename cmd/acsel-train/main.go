@@ -21,6 +21,7 @@ import (
 	"acsel/internal/eval"
 	"acsel/internal/kernels"
 	"acsel/internal/profiler"
+	"acsel/internal/trace"
 )
 
 func main() {
@@ -76,23 +77,13 @@ func run(out, holdout string, k, iters int, logTargets bool, profileOut, modelCa
 		fmt.Fprintf(os.Stderr, "model loaded from cache %s\n", modelCache)
 	}
 
-	f, err := os.Create(out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := model.Save(f); err != nil {
+	if err := trace.WriteFile(out, model.Save); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "model written to %s (k=%d, cluster sizes %v)\n", out, model.K, model.ClusterSizes())
 
 	if profileOut != "" {
-		pf, err := os.Create(profileOut)
-		if err != nil {
-			return err
-		}
-		defer pf.Close()
-		if err := p.WriteJSON(pf); err != nil {
+		if err := trace.WriteFile(profileOut, p.WriteJSON); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "profiling history written to %s (%d samples)\n", profileOut, len(p.History()))

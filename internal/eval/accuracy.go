@@ -108,9 +108,18 @@ func (ev *Evaluation) Accuracy() (AccuracyStats, error) {
 		}
 	}
 
-	// Classifier self-accuracy per fold.
+	// Classifier self-accuracy per fold, iterated in sorted fold order:
+	// float accumulation inside stats.Mean is not associative, so map
+	// iteration order would leak into ClassifierAccuracy's low bits (and
+	// which fold's error surfaces first would be run-dependent).
 	var treeAccs []float64
-	for bench, model := range ev.FoldModels {
+	folds := make([]string, 0, len(ev.FoldModels))
+	for bench := range ev.FoldModels {
+		folds = append(folds, bench)
+	}
+	sort.Strings(folds)
+	for _, bench := range folds {
+		model := ev.FoldModels[bench]
 		var X [][]float64
 		var y []int
 		for _, kp := range ev.Profiles {

@@ -345,7 +345,22 @@ func (ev *Evaluation) aggregate(methods []sched.Method) {
 		weightOf[c.KernelID] = c.Weight
 	}
 
-	for k, cases := range byKernel {
+	// Iterate kernel groups in sorted order rather than map order: the
+	// appended summaries are sorted again below, but building them
+	// deterministically keeps every intermediate (and any future
+	// accumulation across groups) independent of map iteration.
+	keys := make([]key, 0, len(byKernel))
+	for k := range byKernel {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].kernel != keys[j].kernel {
+			return keys[i].kernel < keys[j].kernel
+		}
+		return keys[i].method < keys[j].method
+	})
+	for _, k := range keys {
+		cases := byKernel[k]
 		s := KernelSummary{KernelID: k.kernel, Method: k.method, Weight: weightOf[k.kernel], Cases: len(cases)}
 		var upSum, uwSum, opSum, owSum float64
 		var overCases int

@@ -305,10 +305,13 @@ func (c *Cluster) Step() ([]StepResult, error) {
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
 	for i, node := range c.Nodes {
+		// Acquire the semaphore slot before spawning (matching
+		// core.Characterize): at most GOMAXPROCS goroutines exist at
+		// once, instead of one per node all queued on the channel.
+		sem <- struct{}{}
 		wg.Add(1)
 		go func(i int, node *Node) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			r := StepResult{Node: node.Name, CapW: node.Runtime.Cap(), Kernels: len(node.App)}
 			for _, k := range node.App {

@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Content-addressed lint result cache, mirroring core.TrainCached's
+// discipline for trained models: the key is a SHA-256 over everything
+// that can change the answer — a format version, each analyzer's
+// name:version pair, the lint patterns, go.mod, and the path plus
+// content hash of every Go file in the module (testdata/vendor/hidden
+// dirs excluded, exactly the loader's skip rule). Any edit anywhere in
+// the module changes the key, so a hit is always exact; there is no
+// invalidation logic to get wrong. Entries are immutable JSON files
+// named by their key.
+
+// cacheFormatVersion invalidates every entry when the cache layout or
+// keying scheme itself changes.
+const cacheFormatVersion = 1
+
+// cacheEntry is the on-disk representation of one run's findings.
+// Positions are stored module-relative so entries are machine-portable
+// (CI cache restore onto a different checkout path still hits).
+type cacheEntry struct {
+	Key         string
+	Diagnostics []Diagnostic
+}
+
+// DefaultCacheDir returns the per-user cache location for lint results.
+func DefaultCacheDir() (string, error) {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("lint: no user cache dir: %w", err)
+	}
+	return filepath.Join(base, "acsel-lint"), nil
+}
+
+// CacheKey computes the content hash governing a (root, patterns,
+// analyzers) run. It is exported so tests and tooling can observe key
+// stability and sensitivity.
+func CacheKey(root string, patterns []string, analyzers []*Analyzer) (string, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "format:%d\n", cacheFormatVersion)
+
+	pats := append([]string(nil), patterns...)
+	if len(pats) == 0 {
+		pats = []string{"./..."}
+	}
+	sort.Strings(pats)
+	fmt.Fprintf(h, "patterns:%s\n", strings.Join(pats, ","))
+
+	for _, a := range analyzers {
+		fmt.Fprintf(h, "analyzer:%s:%d\n", a.Name, a.Version)
+	}
+
+	files, err := moduleGoFiles(root)
+	if err != nil {
+		return "", err
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(filepath.Join(root, f))
+		if err != nil {
+			return "", err
+		}
+		sum := sha256.Sum256(data)
+		fmt.Fprintf(h, "file:%s:%s\n", filepath.ToSlash(f), hex.EncodeToString(sum[:]))
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// moduleGoFiles lists go.mod plus every .go file under root that the
+// loader could see, as sorted root-relative paths.
+func moduleGoFiles(root string) ([]string, error) {
+	files := []string{"go.mod"}
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if skipDir(d.Name()) && p != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasPrefix(d.Name(), ".") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		files = append(files, rel)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// RunCached is Run with a read-through cache in cacheDir. On a key hit
+// it returns the stored diagnostics without loading or type-checking
+// anything; on a miss it runs the analyzers and stores the result. The
+// returned bool reports whether the result came from the cache. Cache
+// failures (unwritable dir, corrupt entry) degrade to a plain run —
+// the cache can slow nothing down and break nothing.
+func RunCached(root string, patterns []string, analyzers []*Analyzer, cacheDir string) ([]Diagnostic, bool, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, false, err
+	}
+	key, err := CacheKey(root, patterns, analyzers)
+	if err != nil {
+		return nil, false, err
+	}
+	path := filepath.Join(cacheDir, key+".json")
+
+	if data, err := os.ReadFile(path); err == nil {
+		var ent cacheEntry
+		if json.Unmarshal(data, &ent) == nil && ent.Key == key {
+			return absolutize(root, ent.Diagnostics), true, nil
+		}
+	}
+
+	diags, err := Run(root, patterns, analyzers)
+	if err != nil {
+		return nil, false, err
+	}
+
+	ent := cacheEntry{Key: key, Diagnostics: relativize(root, diags)}
+	if data, err := json.MarshalIndent(ent, "", "  "); err == nil {
+		if err := os.MkdirAll(cacheDir, 0o755); err == nil {
+			// Atomic publish; a concurrent writer racing to the same key
+			// writes identical bytes, so last-rename-wins is safe.
+			tmp, err := os.CreateTemp(cacheDir, key+".*")
+			if err == nil {
+				_, werr := tmp.Write(data)
+				cerr := tmp.Close()
+				if werr == nil && cerr == nil {
+					os.Rename(tmp.Name(), path) //lint:ignore errcheck cache write is best-effort
+				} else {
+					os.Remove(tmp.Name()) //lint:ignore errcheck best-effort cleanup
+				}
+			}
+		}
+	}
+	return diags, false, nil
+}
+
+// relativize maps diagnostic and fix positions to module-relative
+// paths for storage.
+func relativize(root string, diags []Diagnostic) []Diagnostic {
+	out := make([]Diagnostic, len(diags))
+	for i, d := range diags {
+		d.Pos.Filename = relPath(root, d.Pos.Filename)
+		d.Fixes = mapFixPaths(d.Fixes, func(p string) string { return relPath(root, p) })
+		out[i] = d
+	}
+	return out
+}
+
+// absolutize restores absolute paths on cache load so downstream
+// consumers (printing, SARIF, -fix) see the same shape Run produces.
+func absolutize(root string, diags []Diagnostic) []Diagnostic {
+	out := make([]Diagnostic, len(diags))
+	for i, d := range diags {
+		d.Pos.Filename = absPath(root, d.Pos.Filename)
+		d.Fixes = mapFixPaths(d.Fixes, func(p string) string { return absPath(root, p) })
+		out[i] = d
+	}
+	return out
+}
+
+func mapFixPaths(fixes []SuggestedFix, f func(string) string) []SuggestedFix {
+	if len(fixes) == 0 {
+		return nil
+	}
+	out := make([]SuggestedFix, len(fixes))
+	for i, fix := range fixes {
+		edits := make([]TextEdit, len(fix.Edits))
+		for j, e := range fix.Edits {
+			e.Start.Filename = f(e.Start.Filename)
+			e.End.Filename = f(e.End.Filename)
+			edits[j] = e
+		}
+		out[i] = SuggestedFix{Message: fix.Message, Edits: edits}
+	}
+	return out
+}
+
+func relPath(root, p string) string {
+	if rel, err := filepath.Rel(root, p); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return p
+}
+
+func absPath(root, p string) string {
+	if filepath.IsAbs(p) {
+		return p
+	}
+	return filepath.Join(root, filepath.FromSlash(p))
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const cachedAppSrc = `package app
+
+import "math/rand"
+
+func Draw() float64 { return rand.Float64() }
+`
+
+func TestRunCachedHitAndInvalidation(t *testing.T) {
+	root := fixtureModule(t, map[string]string{"app/app.go": cachedAppSrc})
+	cacheDir := t.TempDir()
+	suite := []*Analyzer{AnalyzerGlobalRand}
+
+	diags1, hit, err := RunCached(root, nil, suite, cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first run must be a cache miss")
+	}
+	if len(diags1) != 1 {
+		t.Fatalf("seed findings = %v, want one globalrand", diags1)
+	}
+
+	diags2, hit, err := RunCached(root, nil, suite, cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("unchanged module must hit the cache")
+	}
+	if len(diags2) != 1 || diags2[0].String() != diags1[0].String() {
+		t.Fatalf("cached diagnostics differ: %v vs %v", diags2, diags1)
+	}
+	if !filepath.IsAbs(diags2[0].Pos.Filename) {
+		t.Fatalf("cached diagnostic path not re-absolutized: %s", diags2[0].Pos.Filename)
+	}
+
+	// Any content edit must invalidate the key.
+	writeFile(t, root, "app/app.go", cachedAppSrc+"\n// trailing comment\n")
+	_, hit, err = RunCached(root, nil, suite, cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("edited module must miss the cache")
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	root := fixtureModule(t, map[string]string{"app/app.go": cachedAppSrc})
+	base, err := CacheKey(root, nil, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stable across calls.
+	again, err := CacheKey(root, nil, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != again {
+		t.Fatal("cache key not deterministic")
+	}
+
+	// Sensitive to the analyzer set…
+	subset, err := CacheKey(root, nil, []*Analyzer{AnalyzerFloatCmp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subset == base {
+		t.Fatal("key ignores the analyzer suite")
+	}
+
+	// …to the patterns…
+	patterned, err := CacheKey(root, []string{"./app"}, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if patterned == base {
+		t.Fatal("key ignores the lint patterns")
+	}
+
+	// …to an analyzer version bump…
+	bumped := *AnalyzerFloatCmp
+	bumped.Version++
+	suite := append([]*Analyzer{&bumped}, All()[1:]...)
+	rekeyed, err := CacheKey(root, nil, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rekeyed == base {
+		t.Fatal("key ignores analyzer versions")
+	}
+
+	// …and to file content.
+	writeFile(t, root, "app/app.go", cachedAppSrc+"// edit\n")
+	edited, err := CacheKey(root, nil, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edited == base {
+		t.Fatal("key ignores file content")
+	}
+}
+
+func TestRunCachedSurvivesCorruptEntry(t *testing.T) {
+	root := fixtureModule(t, map[string]string{"app/app.go": cachedAppSrc})
+	cacheDir := t.TempDir()
+	suite := []*Analyzer{AnalyzerGlobalRand}
+
+	key, err := CacheKey(root, nil, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(cacheDir, key+".json"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, hit, err := RunCached(root, nil, suite, cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("corrupt entry must degrade to a plain run, not a hit")
+	}
+	if len(diags) != 1 {
+		t.Fatalf("degraded run findings = %v", diags)
+	}
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerCtxCancel flags context.WithCancel/WithTimeout/WithDeadline
+// calls whose cancel function is discarded or not guaranteed to run:
+// no defer cancel(), and at least one control-flow path to function
+// exit that never calls it. A leaked cancel pins the context's timer
+// and goroutine for the parent's lifetime — exactly the kind of slow
+// resource leak a long-running power-capping runtime cannot afford.
+//
+// The all-paths question is answered on the CFG, so an early return
+// between the With* call and a late cancel() is caught while
+// cancel-on-every-branch code stays clean. Where it is syntactically
+// safe, the finding carries a suggested fix inserting `defer cancel()`
+// immediately after the assignment; acsel-lint -fix applies it.
+var AnalyzerCtxCancel = &Analyzer{
+	Name:    "ctxcancel",
+	Doc:     "flag context cancel functions that are discarded or skipped on some path to return",
+	Version: 1,
+	Run:     runCtxCancel,
+}
+
+// ctxConstructors lists the context functions returning a CancelFunc.
+var ctxConstructors = map[string]bool{
+	"WithCancel": true, "WithTimeout": true, "WithDeadline": true,
+}
+
+func runCtxCancel(pass *Pass) {
+	for _, f := range pass.Files {
+		inBlock := stmtsDirectlyInBlocks(f)
+		FuncBodies(f, func(owner ast.Node, body *ast.BlockStmt) {
+			runCtxCancelBody(pass, body, inBlock)
+		})
+	}
+}
+
+func runCtxCancelBody(pass *Pass, body *ast.BlockStmt, inBlock map[ast.Stmt]bool) {
+	cfg := BuildCFG(body)
+	for _, b := range cfg.Blocks {
+		for i, n := range b.Nodes {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) != 2 {
+				continue
+			}
+			call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			pkg, recv, name, resolved := callee(pass, call)
+			if !resolved || recv != "" || pkg != "context" || !ctxConstructors[name] {
+				continue
+			}
+			cancelIdent, ok := ast.Unparen(assign.Lhs[1]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if cancelIdent.Name == "_" {
+				pass.Reportf(assign.Pos(), "cancel function of context.%s is discarded; the context (and its timer) leaks until the parent is done", name)
+				continue
+			}
+			obj := identObject(pass.TypesInfo, cancelIdent)
+			if obj == nil {
+				continue
+			}
+			if cancelHandled(pass, cfg, obj) {
+				continue
+			}
+			if !existsPathAvoiding(cfg, b, i+1, func(m ast.Node) bool { return nodeCallsObj(pass, m, obj) }) {
+				continue // every path calls cancel() explicitly
+			}
+			d := Diagnostic{
+				Pos:     pass.Fset.Position(assign.Pos()),
+				Check:   pass.check,
+				Message: "cancel function from context." + name + " is not deferred and some path returns without calling it",
+			}
+			if inBlock[assign] {
+				// Safe insertion point: the assignment is a direct
+				// statement of a block, so a defer can follow it.
+				d.Fixes = []SuggestedFix{{
+					Message: "defer " + cancelIdent.Name + "() after the assignment",
+					Edits: []TextEdit{{
+						Start:   pass.Fset.Position(assign.End()),
+						End:     pass.Fset.Position(assign.End()),
+						NewText: "\ndefer " + cancelIdent.Name + "()",
+					}},
+				}}
+			}
+			pass.Report(d)
+		}
+	}
+}
+
+// cancelHandled reports whether the cancel object is deferred (directly
+// or inside a deferred closure) or escapes as a call argument / stored
+// value, in which case responsibility moved elsewhere.
+func cancelHandled(pass *Pass, cfg *CFG, obj types.Object) bool {
+	handled := false
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			// Deferred cancel: walk the whole defer including closures.
+			if def, ok := n.(*ast.DeferStmt); ok {
+				ast.Inspect(def, func(sub ast.Node) bool {
+					if call, isCall := sub.(*ast.CallExpr); isCall {
+						if id, isID := ast.Unparen(call.Fun).(*ast.Ident); isID && identObject(pass.TypesInfo, id) == obj {
+							handled = true
+						}
+					}
+					return !handled
+				})
+			}
+			// Escape: cancel passed to another function or stored.
+			if nodeMentionsAsArg(pass, n, func(id *ast.Ident) bool { return identObject(pass.TypesInfo, id) == obj }) {
+				handled = true
+			}
+			if assign, ok := n.(*ast.AssignStmt); ok {
+				for _, rhs := range assign.Rhs {
+					if id, isID := ast.Unparen(rhs).(*ast.Ident); isID && identObject(pass.TypesInfo, id) == obj {
+						handled = true
+					}
+				}
+			}
+			if handled {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// nodeCallsObj reports whether the node calls obj directly.
+func nodeCallsObj(pass *Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	walkShallowParts(n, func(sub ast.Node) {
+		if call, ok := sub.(*ast.CallExpr); ok {
+			if id, isID := ast.Unparen(call.Fun).(*ast.Ident); isID && identObject(pass.TypesInfo, id) == obj {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// stmtsDirectlyInBlocks records which statements sit directly in a
+// block statement — the positions where inserting a following
+// statement is syntactically safe (not if-init, not for-post).
+func stmtsDirectlyInBlocks(f *ast.File) map[ast.Stmt]bool {
+	out := make(map[ast.Stmt]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		if blk, ok := n.(*ast.BlockStmt); ok {
+			for _, s := range blk.List {
+				out[s] = true
+			}
+		}
+		return true
+	})
+	return out
+}

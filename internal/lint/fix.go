@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The suggested-fix applier behind `acsel-lint -fix`. Edits are plain
+// byte-range replacements resolved at report time, so applying them
+// needs no re-parse: group by file, sort descending, splice, gofmt,
+// write atomically. Running -fix twice is a no-op by construction —
+// the first pass removes the findings that carried the fixes, so the
+// second pass has no edits to make (fix_test.go asserts this).
+
+// FixResult summarizes one ApplyFixes run.
+type FixResult struct {
+	Applied      int      // fixes applied
+	Skipped      int      // fixes dropped because their edits overlapped an earlier fix
+	ChangedFiles []string // files rewritten, sorted
+}
+
+// ApplyFixes applies the first suggested fix of every diagnostic that
+// carries one. Conflicting fixes (overlapping edits in the same file)
+// are applied first-come in diagnostic order; later overlappers are
+// skipped and counted, never half-applied. Each changed file is run
+// through gofmt and replaced atomically (temp file + rename).
+func ApplyFixes(diags []Diagnostic) (FixResult, error) {
+	var res FixResult
+
+	type edit struct {
+		start, end int
+		text       string
+	}
+	perFile := make(map[string][]edit)
+
+	for _, d := range diags {
+		if len(d.Fixes) == 0 {
+			continue
+		}
+		fix := d.Fixes[0]
+		if len(fix.Edits) == 0 {
+			continue
+		}
+		// All-or-nothing per fix: check every edit against the already
+		// accepted set for its file.
+		conflict := false
+		for _, e := range fix.Edits {
+			for _, have := range perFile[e.Start.Filename] {
+				if e.Start.Offset < have.end && have.start < e.End.Offset ||
+					e.Start.Offset == have.start && e.End.Offset == have.end {
+					conflict = true
+				}
+			}
+		}
+		if conflict {
+			res.Skipped++
+			continue
+		}
+		for _, e := range fix.Edits {
+			if e.End.Offset < e.Start.Offset || e.Start.Filename == "" || e.Start.Filename != e.End.Filename {
+				return res, fmt.Errorf("lint: malformed suggested fix edit in %s", d.Pos.Filename)
+			}
+			perFile[e.Start.Filename] = append(perFile[e.Start.Filename], edit{start: e.Start.Offset, end: e.End.Offset, text: e.NewText})
+		}
+		res.Applied++
+	}
+
+	var files []string
+	for f := range perFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	for _, file := range files {
+		edits := perFile[file]
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return res, fmt.Errorf("lint: applying fixes: %w", err)
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		for _, e := range edits {
+			if e.end > len(src) {
+				return res, fmt.Errorf("lint: fix edit past end of %s (stale positions?)", file)
+			}
+			src = append(src[:e.start], append([]byte(e.text), src[e.end:]...)...)
+		}
+		formatted, err := format.Source(src)
+		if err != nil {
+			return res, fmt.Errorf("lint: fixed %s does not parse: %w", file, err)
+		}
+		if err := writeFileAtomic(file, formatted); err != nil {
+			return res, err
+		}
+		res.ChangedFiles = append(res.ChangedFiles, file)
+	}
+	return res, nil
+}
+
+// writeFileAtomic replaces path via a temp file in the same directory,
+// preserving the original file mode.
+func writeFileAtomic(path string, data []byte) error {
+	mode := os.FileMode(0o644)
+	if fi, err := os.Stat(path); err == nil {
+		mode = fi.Mode().Perm()
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".fix*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()           //lint:ignore errcheck already failing
+		os.Remove(tmp.Name()) //lint:ignore errcheck best-effort cleanup
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name()) //lint:ignore errcheck best-effort cleanup
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), mode); err != nil {
+		os.Remove(tmp.Name()) //lint:ignore errcheck best-effort cleanup
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

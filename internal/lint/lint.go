@@ -33,6 +33,27 @@ type Diagnostic struct {
 	Pos     token.Position
 	Check   string // analyzer name, e.g. "floatcmp"
 	Message string
+	// Fixes carries machine-applicable suggested fixes; acsel-lint -fix
+	// applies the first one (see fix.go). Analyzers only attach a fix
+	// when it is safe and semantics-preserving.
+	Fixes []SuggestedFix `json:",omitempty"`
+}
+
+// TextEdit replaces the source range [Start.Offset, End.Offset) of
+// Start.Filename with NewText. Positions are fully resolved so the fix
+// applier works from file bytes without re-parsing.
+type TextEdit struct {
+	Start   token.Position
+	End     token.Position
+	NewText string
+}
+
+// SuggestedFix is one machine-applicable remediation for a diagnostic.
+// Edits must not overlap; the applier runs the result through gofmt,
+// so edits may be loose about whitespace.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
 }
 
 // String formats the diagnostic in the canonical CLI form.
@@ -45,7 +66,11 @@ func (d Diagnostic) String() string {
 type Analyzer struct {
 	Name string // short lowercase identifier used in output and ignore directives
 	Doc  string // one-line description
-	Run  func(*Pass)
+	// Version participates in the lint result cache key (cache.go):
+	// bump it whenever the analyzer's findings or fixes change, so
+	// cached clean runs from older logic are invalidated.
+	Version int
+	Run     func(*Pass)
 }
 
 // Pass presents one type-checked package unit to an analyzer. A unit is
@@ -71,6 +96,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// Report records a pre-built diagnostic (used by analyzers that attach
+// suggested fixes). The Check field is stamped with the running
+// analyzer's name.
+func (p *Pass) Report(d Diagnostic) {
+	d.Check = p.check
+	p.report(d)
+}
+
 // IsTestFile reports whether the file containing pos is a _test.go
 // file. Several checks apply only inside or only outside tests.
 func (p *Pass) IsTestFile(pos token.Pos) bool {
@@ -91,6 +124,10 @@ func All() []*Analyzer {
 		AnalyzerErrCheck,
 		AnalyzerLockSleep,
 		AnalyzerMetricName,
+		AnalyzerMapOrder,
+		AnalyzerGoroLeak,
+		AnalyzerCtxCancel,
+		AnalyzerWallTime,
 	}
 }
 

@@ -1,0 +1,434 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Reaching definitions over the CFG of one function body. This is the
+// substrate the taint engine (taint.go) and the defer-Close errcheck
+// extension stand on: "which assignment(s) can the value of x at this
+// statement come from" answered as a classic forward may-analysis with
+// gen/kill sets and a worklist.
+
+// DefKind classifies how a definition came to be; clients use it to
+// decide what the defined value means (tainted source, sanitized, ...).
+type DefKind int
+
+const (
+	// DefEntry marks a parameter, named result, receiver, or closure
+	// free variable: defined before the body runs.
+	DefEntry DefKind = iota
+	// DefAssign is a plain assignment, := definition, or var declaration.
+	DefAssign
+	// DefRange is a loop variable bound by a range statement.
+	DefRange
+	// DefWeak is a partial or aliased update — a store through an index,
+	// field, or pointer, or passing &x to a call. Weak definitions do
+	// not kill prior definitions of the object.
+	DefWeak
+	// DefExtra is a client-declared definition from the ExtraDefs hook
+	// (e.g. sort.Strings(x) re-defining x in sorted order).
+	DefExtra
+)
+
+// DefSite is one definition of one object.
+type DefSite struct {
+	Obj  types.Object
+	Node ast.Node // the defining statement (or func type for DefEntry)
+	Kind DefKind
+	// RHS is the defining expression when one exists: the matching
+	// right-hand side of an assignment, or the ranged expression for
+	// DefRange. Nil otherwise.
+	RHS ast.Expr
+	// IsValue marks the value (second) variable of a range binding.
+	IsValue bool
+	// Op is the assignment token string ("=", ":=", "+=", ...) for
+	// DefAssign sites; empty otherwise.
+	Op string
+}
+
+// defState maps each object to the set of definitions that may reach a
+// program point.
+type defState map[types.Object][]*DefSite
+
+func (s defState) clone() defState {
+	out := make(defState, len(s))
+	for k, v := range s {
+		out[k] = v // slices are treated as immutable; transfer replaces
+	}
+	return out
+}
+
+// mergeInto unions o into s, reporting whether s changed.
+func (s defState) mergeInto(o defState) bool {
+	changed := false
+	for obj, defs := range o {
+		have := s[obj]
+		seen := make(map[*DefSite]bool, len(have))
+		for _, d := range have {
+			seen[d] = true
+		}
+		for _, d := range defs {
+			if !seen[d] {
+				have = append(have, d)
+				seen[d] = true
+				changed = true
+			}
+		}
+		s[obj] = have
+	}
+	return changed
+}
+
+// ReachingDefs holds the fixpoint solution for one function body.
+type ReachingDefs struct {
+	CFG  *CFG
+	Info *types.Info
+	// ExtraDefs, when set, lets a client declare additional strong
+	// definitions for a node (see DefExtra).
+	ExtraDefs func(n ast.Node) []types.Object
+
+	in     map[*Block]defState
+	sites  []*DefSite // all sites, creation order
+	byNode map[ast.Node][]*DefSite
+	loc    map[ast.Node]nodeLoc
+}
+
+type nodeLoc struct {
+	block *Block
+	index int
+}
+
+// NewReachingDefs builds and solves reaching definitions for the body
+// owned by owner (a *ast.FuncDecl or *ast.FuncLit). freeVars lists
+// objects used but not defined in the body (closure captures); they get
+// DefEntry sites alongside parameters.
+func NewReachingDefs(owner ast.Node, cfg *CFG, info *types.Info, extra func(ast.Node) []types.Object) *ReachingDefs {
+	rd := &ReachingDefs{
+		CFG:       cfg,
+		Info:      info,
+		ExtraDefs: extra,
+		in:        make(map[*Block]defState),
+		byNode:    make(map[ast.Node][]*DefSite),
+		loc:       make(map[ast.Node]nodeLoc),
+	}
+	for _, b := range cfg.Blocks {
+		for i, n := range b.Nodes {
+			rd.loc[n] = nodeLoc{block: b, index: i}
+		}
+	}
+	rd.solve(owner)
+	return rd
+}
+
+// entryState seeds the Entry block: parameters, receivers, named
+// results, and any object that is used in the body without a local
+// definition (closure free variables, package globals).
+func (rd *ReachingDefs) entryState(owner ast.Node) defState {
+	state := defState{}
+	var ftype *ast.FuncType
+	switch o := owner.(type) {
+	case *ast.FuncDecl:
+		ftype = o.Type
+		if o.Recv != nil {
+			rd.entryFields(state, o.Recv, owner)
+		}
+	case *ast.FuncLit:
+		ftype = o.Type
+	}
+	if ftype != nil {
+		rd.entryFields(state, ftype.Params, owner)
+		if ftype.Results != nil {
+			rd.entryFields(state, ftype.Results, owner)
+		}
+	}
+
+	// Objects with uses but no definition anywhere in the body.
+	defined := make(map[types.Object]bool)
+	for _, b := range rd.CFG.Blocks {
+		for _, n := range b.Nodes {
+			forEachDef(rd.Info, n, func(obj types.Object, _ DefKind, _ ast.Expr, _ bool, _ string) {
+				defined[obj] = true
+			})
+		}
+	}
+	for _, b := range rd.CFG.Blocks {
+		for _, n := range b.Nodes {
+			forEachUsedIdent(n, func(id *ast.Ident) {
+				obj := rd.Info.Uses[id]
+				if obj == nil || defined[obj] {
+					return
+				}
+				if _, ok := obj.(*types.Var); !ok {
+					return
+				}
+				if _, have := state[obj]; !have {
+					d := &DefSite{Obj: obj, Node: owner, Kind: DefEntry}
+					rd.sites = append(rd.sites, d)
+					state[obj] = []*DefSite{d}
+				}
+			})
+		}
+	}
+	return state
+}
+
+func (rd *ReachingDefs) entryFields(state defState, fl *ast.FieldList, owner ast.Node) {
+	if fl == nil {
+		return
+	}
+	for _, f := range fl.List {
+		for _, name := range f.Names {
+			obj := rd.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			d := &DefSite{Obj: obj, Node: owner, Kind: DefEntry}
+			rd.sites = append(rd.sites, d)
+			state[obj] = []*DefSite{d}
+		}
+	}
+}
+
+// solve runs the worklist to fixpoint.
+func (rd *ReachingDefs) solve(owner ast.Node) {
+	rd.in[rd.CFG.Entry] = rd.entryState(owner)
+	work := []*Block{rd.CFG.Entry}
+	inWork := map[*Block]bool{rd.CFG.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+		out := rd.in[b].clone()
+		for _, n := range b.Nodes {
+			rd.transfer(out, n)
+		}
+		for _, s := range b.Succs {
+			si := rd.in[s]
+			if si == nil {
+				si = defState{}
+				rd.in[s] = si
+			}
+			if si.mergeInto(out) && !inWork[s] {
+				work = append(work, s)
+				inWork[s] = true
+			}
+		}
+	}
+}
+
+// transfer applies one node's definitions to state in place. Sites are
+// interned per (node, obj, kind) so the fixpoint terminates.
+func (rd *ReachingDefs) transfer(state defState, n ast.Node) {
+	apply := func(obj types.Object, kind DefKind, rhs ast.Expr, isValue bool, op string) {
+		d := rd.site(n, obj, kind, rhs, isValue, op)
+		if kind == DefWeak {
+			// Weak update: old definitions survive.
+			state[obj] = append(append([]*DefSite{}, state[obj]...), d)
+			return
+		}
+		state[obj] = []*DefSite{d}
+	}
+	forEachDef(rd.Info, n, apply)
+	if rd.ExtraDefs != nil {
+		for _, obj := range rd.ExtraDefs(n) {
+			apply(obj, DefExtra, nil, false, "")
+		}
+	}
+}
+
+// site interns DefSites so repeated transfers over loop back-edges
+// reuse the same identity.
+func (rd *ReachingDefs) site(n ast.Node, obj types.Object, kind DefKind, rhs ast.Expr, isValue bool, op string) *DefSite {
+	for _, d := range rd.byNode[n] {
+		if d.Obj == obj && d.Kind == kind {
+			return d
+		}
+	}
+	d := &DefSite{Obj: obj, Node: n, Kind: kind, RHS: rhs, IsValue: isValue, Op: op}
+	rd.byNode[n] = append(rd.byNode[n], d)
+	rd.sites = append(rd.sites, d)
+	return d
+}
+
+// Sites returns every definition site discovered, in creation order.
+func (rd *ReachingDefs) Sites() []*DefSite { return rd.sites }
+
+// At returns the definitions of obj that may reach node (before the
+// node executes). The node must be one of the CFG's block nodes.
+func (rd *ReachingDefs) At(node ast.Node, obj types.Object) []*DefSite {
+	state := rd.stateAt(node)
+	if state == nil {
+		return nil
+	}
+	return state[obj]
+}
+
+// stateAt replays the node's block from its In state up to (not
+// including) the node.
+func (rd *ReachingDefs) stateAt(node ast.Node) defState {
+	l, ok := rd.loc[node]
+	if !ok {
+		return nil
+	}
+	state := rd.in[l.block]
+	if state == nil {
+		state = defState{}
+	}
+	state = state.clone()
+	for i := 0; i < l.index; i++ {
+		rd.transfer(state, l.block.Nodes[i])
+	}
+	return state
+}
+
+// forEachDef enumerates the definitions a single CFG node produces.
+// Nested function literals are opaque: their bodies get their own CFG
+// and reaching-defs instance, so this walker never descends into them.
+func forEachDef(info *types.Info, n ast.Node, fn func(obj types.Object, kind DefKind, rhs ast.Expr, isValue bool, op string)) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range n.Lhs {
+			var rhs ast.Expr
+			if len(n.Rhs) == len(n.Lhs) {
+				rhs = n.Rhs[i]
+			} else if len(n.Rhs) == 1 {
+				rhs = n.Rhs[0] // multi-value call/map/type-assert form
+			}
+			switch l := ast.Unparen(lhs).(type) {
+			case *ast.Ident:
+				if l.Name == "_" {
+					continue
+				}
+				if obj := identObject(info, l); obj != nil {
+					fn(obj, DefAssign, rhs, false, n.Tok.String())
+				}
+			default:
+				if root := rootIdent(lhs); root != nil {
+					if obj := identObject(info, root); obj != nil {
+						fn(obj, DefWeak, rhs, false, n.Tok.String())
+					}
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if name.Name == "_" {
+					continue
+				}
+				var rhs ast.Expr
+				if i < len(vs.Values) {
+					rhs = vs.Values[i]
+				}
+				if obj := info.Defs[name]; obj != nil {
+					fn(obj, DefAssign, rhs, false, "=")
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if id, ok := ast.Unparen(n.Key).(*ast.Ident); ok && n.Key != nil && id.Name != "_" {
+			if obj := identObject(info, id); obj != nil {
+				fn(obj, DefRange, n.X, false, "")
+			}
+		}
+		if n.Value != nil {
+			if id, ok := ast.Unparen(n.Value).(*ast.Ident); ok && id.Name != "_" {
+				if obj := identObject(info, id); obj != nil {
+					fn(obj, DefRange, n.X, true, "")
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+			if obj := identObject(info, id); obj != nil {
+				fn(obj, DefAssign, n.X, false, n.Tok.String())
+			}
+		} else if root := rootIdent(n.X); root != nil {
+			if obj := identObject(info, root); obj != nil {
+				fn(obj, DefWeak, nil, false, n.Tok.String())
+			}
+		}
+	}
+	// Address-taken arguments anywhere in the node: &x handed to a call
+	// may be written through, so it is a weak definition of x.
+	walkShallowParts(n, func(sub ast.Node) {
+		call, ok := sub.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		for _, arg := range call.Args {
+			if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+				if root := rootIdent(u.X); root != nil {
+					if obj := identObject(info, root); obj != nil {
+						fn(obj, DefWeak, nil, false, "")
+					}
+				}
+			}
+		}
+	})
+}
+
+// identObject resolves an identifier to its object through either the
+// Defs (for :=) or Uses (for =) map.
+func identObject(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// rootIdent digs to the base identifier of an lvalue chain:
+// a[i].f, *p, (x.y) all resolve to their leftmost identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// walkShallow visits n and its children but never enters a nested
+// function literal (whose body belongs to a different CFG).
+func walkShallow(n ast.Node, fn func(ast.Node)) {
+	ast.Inspect(n, func(sub ast.Node) bool {
+		if _, isLit := sub.(*ast.FuncLit); isLit && sub != n {
+			return false
+		}
+		if sub != nil {
+			fn(sub)
+		}
+		return true
+	})
+}
+
+// forEachUsedIdent visits every identifier used (read) in the node,
+// skipping nested function literals and loop bodies that belong to
+// other CFG blocks.
+func forEachUsedIdent(n ast.Node, fn func(*ast.Ident)) {
+	walkShallowParts(n, func(sub ast.Node) {
+		if id, ok := sub.(*ast.Ident); ok {
+			fn(id)
+		}
+	})
+}

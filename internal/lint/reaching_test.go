@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// checkedBody type-checks src and returns the pass scaffolding plus the
+// named function's declaration.
+func checkedBody(t *testing.T, src, fnName string) (*token.FileSet, *types.Info, *ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "rd.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fnName {
+			return fset, info, fd
+		}
+	}
+	t.Fatalf("function %s not found", fnName)
+	return nil, nil, nil
+}
+
+// objNamed finds the unique variable object with the given name among
+// the discovered definition sites.
+func objNamed(t *testing.T, rd *ReachingDefs, name string) types.Object {
+	t.Helper()
+	for _, d := range rd.Sites() {
+		if d.Obj.Name() == name {
+			return d.Obj
+		}
+	}
+	t.Fatalf("no definition site for %q", name)
+	return nil
+}
+
+// findNode locates the first CFG node for which pred returns true.
+func findNode(cfg *CFG, pred func(ast.Node) bool) ast.Node {
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if pred(n) {
+				return n
+			}
+		}
+	}
+	return nil
+}
+
+// isReturn matches a return statement node.
+func isReturn(n ast.Node) bool {
+	_, ok := n.(*ast.ReturnStmt)
+	return ok
+}
+
+func TestReachingStrongUpdateKills(t *testing.T) {
+	_, info, fd := checkedBody(t, `package p
+func f() int {
+	x := 1
+	x = 2
+	return x
+}`, "f")
+	cfg := BuildCFG(fd.Body)
+	rd := NewReachingDefs(fd, cfg, info, nil)
+	x := objNamed(t, rd, "x")
+	ret := findNode(cfg, isReturn)
+	defs := rd.At(ret, x)
+	if len(defs) != 1 {
+		t.Fatalf("strong update must kill the prior def: got %d defs", len(defs))
+	}
+	if lit, ok := defs[0].RHS.(*ast.BasicLit); !ok || lit.Value != "2" {
+		t.Fatalf("surviving def RHS = %v, want literal 2", defs[0].RHS)
+	}
+}
+
+func TestReachingBranchesMerge(t *testing.T) {
+	_, info, fd := checkedBody(t, `package p
+func f(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	}
+	return x
+}`, "f")
+	cfg := BuildCFG(fd.Body)
+	rd := NewReachingDefs(fd, cfg, info, nil)
+	x := objNamed(t, rd, "x")
+	defs := rd.At(findNode(cfg, isReturn), x)
+	if len(defs) != 2 {
+		t.Fatalf("conditional redefinition must merge: got %d defs, want 2", len(defs))
+	}
+}
+
+func TestReachingWeakUpdatePreserves(t *testing.T) {
+	_, info, fd := checkedBody(t, `package p
+func f() int {
+	xs := []int{1}
+	xs[0] = 2
+	return xs[0]
+}`, "f")
+	cfg := BuildCFG(fd.Body)
+	rd := NewReachingDefs(fd, cfg, info, nil)
+	xs := objNamed(t, rd, "xs")
+	defs := rd.At(findNode(cfg, isReturn), xs)
+	if len(defs) != 2 {
+		t.Fatalf("index store is weak, both defs must survive: got %d", len(defs))
+	}
+	kinds := map[DefKind]bool{}
+	for _, d := range defs {
+		kinds[d.Kind] = true
+	}
+	if !kinds[DefAssign] || !kinds[DefWeak] {
+		t.Fatalf("def kinds = %v, want one DefAssign and one DefWeak", kinds)
+	}
+}
+
+func TestReachingLoopFixpoint(t *testing.T) {
+	_, info, fd := checkedBody(t, `package p
+func f(n int) int {
+	x := 0
+	for i := 0; i < n; i++ {
+		x = i
+	}
+	return x
+}`, "f")
+	cfg := BuildCFG(fd.Body)
+	rd := NewReachingDefs(fd, cfg, info, nil)
+	x := objNamed(t, rd, "x")
+	defs := rd.At(findNode(cfg, isReturn), x)
+	// Both the initial def (loop may run zero times) and the loop-body
+	// def can reach the return.
+	if len(defs) != 2 {
+		t.Fatalf("loop merge: got %d defs, want 2", len(defs))
+	}
+}
+
+func TestReachingRangeAndEntryDefs(t *testing.T) {
+	_, info, fd := checkedBody(t, `package p
+func f(m map[string]int) int {
+	total := 0
+	for k, v := range m {
+		_ = k
+		total += v
+	}
+	return total
+}`, "f")
+	cfg := BuildCFG(fd.Body)
+	rd := NewReachingDefs(fd, cfg, info, nil)
+
+	m := objNamed(t, rd, "m")
+	mDefs := rd.At(findNode(cfg, isReturn), m)
+	if len(mDefs) != 1 || mDefs[0].Kind != DefEntry {
+		t.Fatalf("parameter defs = %v, want a single DefEntry", mDefs)
+	}
+
+	v := objNamed(t, rd, "v")
+	use := findNode(cfg, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		return ok && a.Tok.String() == "+="
+	})
+	vDefs := rd.At(use, v)
+	if len(vDefs) != 1 || vDefs[0].Kind != DefRange || !vDefs[0].IsValue {
+		t.Fatalf("range value defs = %+v, want one DefRange value binding", vDefs)
+	}
+	k := objNamed(t, rd, "k")
+	kDefs := rd.At(use, k)
+	if len(kDefs) != 1 || kDefs[0].Kind != DefRange || kDefs[0].IsValue {
+		t.Fatalf("range key defs = %+v, want one DefRange key binding", kDefs)
+	}
+}
+
+func TestReachingExtraDefsSanitize(t *testing.T) {
+	_, info, fd := checkedBody(t, `package p
+import "sort"
+func f(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}`, "f")
+	cfg := BuildCFG(fd.Body)
+	// Declare sort.Strings(x) as an extra strong definition of x, the
+	// hook maporder's sanitizer uses.
+	extra := func(n ast.Node) []types.Object {
+		var out []types.Object
+		walkShallowParts(n, func(sub ast.Node) {
+			call, ok := sub.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); !ok || sel.Sel.Name != "Strings" {
+				return
+			}
+			if root := rootIdent(call.Args[0]); root != nil {
+				if obj := identObject(info, root); obj != nil {
+					out = append(out, obj)
+				}
+			}
+		})
+		return out
+	}
+	rd := NewReachingDefs(fd, cfg, info, extra)
+	keys := objNamed(t, rd, "keys")
+	defs := rd.At(findNode(cfg, isReturn), keys)
+	if len(defs) != 1 || defs[0].Kind != DefExtra {
+		t.Fatalf("after the sanitizer only the DefExtra must reach the return, got %+v", defs)
+	}
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestWriteSARIF(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Pos:     token.Position{Filename: "/mod/internal/rts/rts.go", Line: 12, Column: 3},
+			Check:   "maporder",
+			Message: "value ordered by map iteration reaches output",
+		},
+		{
+			Pos:     token.Position{Filename: "/mod/cmd/tool/main.go", Line: 40, Column: 2},
+			Check:   "errcheck",
+			Message: "error discarded",
+		},
+	}
+	var b strings.Builder
+	if err := WriteSARIF(&b, "/mod", diags, All()); err != nil {
+		t.Fatal(err)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &log); err != nil {
+		t.Fatalf("emitted SARIF is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Fatalf("version/schema = %q / %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "acsel-lint" {
+		t.Fatalf("driver name = %q", run.Tool.Driver.Name)
+	}
+	// Every analyzer must appear as a rule, plus the reserved "lint"
+	// rule for malformed directives.
+	if want := len(All()) + 1; len(run.Tool.Driver.Rules) != want {
+		t.Fatalf("rules = %d, want %d", len(run.Tool.Driver.Rules), want)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	first := run.Results[0]
+	if first.RuleID != "maporder" || first.Level != "error" {
+		t.Fatalf("first result = %+v", first)
+	}
+	loc := first.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/rts/rts.go" {
+		t.Fatalf("URI = %q, want module-relative forward-slash path", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 12 || loc.Region.StartColumn != 3 {
+		t.Fatalf("region = %+v", loc.Region)
+	}
+
+	// Determinism: a second emission is byte-identical.
+	var b2 strings.Builder
+	if err := WriteSARIF(&b2, "/mod", diags, All()); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Fatal("SARIF output not deterministic")
+	}
+}

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// Shared sink catalog for the dataflow analyzers. A "sink" is a place
+// where an order-dependent or wall-clock-dependent value becomes
+// externally observable: printed output, bytes written to a writer or
+// hash, encoded artifacts, metrics exports, escaping returns, and
+// stores into struct state.
+
+// sinkOpts selects which sink classes a client analyzer cares about.
+type sinkOpts struct {
+	// metricsExport treats metric-mutation methods (Observe/Set/Add/
+	// With) as sinks. maporder wants this (a map-ordered label or value
+	// corrupts the deterministic export); walltime must NOT (metrics
+	// are exactly where wall-clock readings belong).
+	metricsExport bool
+	// returns treats returning the value as a sink (escape from the
+	// intraprocedural window).
+	returns bool
+	// fieldStores treats `x.f = v` as a sink (escape into struct
+	// state, e.g. model fields or exported artifacts).
+	fieldStores bool
+	// commutativeFieldStores exempts `x.f += v` (and the other
+	// commutative compound ops) on numeric fields from the fieldStores
+	// sink: summing counters over a map range is order-insensitive.
+	// maporder sets this; walltime must not — accumulating wall-clock
+	// durations into model state is exactly its bug class.
+	commutativeFieldStores bool
+}
+
+// fmtAllArgs lists fmt functions whose every argument is rendered.
+var fmtAllArgs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Sprint": true, "Sprintf": true, "Sprintln": true,
+}
+
+// fmtWriterArgs lists fmt functions whose first argument is the
+// destination writer (not itself rendered).
+var fmtWriterArgs = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// writeMethods are methods that emit their arguments as output bytes,
+// whatever the receiver: io.Writer, hash.Hash, csv.Writer,
+// strings.Builder, bufio.Writer.
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+// metricMethods mutate exported metric state.
+var metricMethods = map[string]bool{
+	"Observe": true, "Set": true, "Add": true, "With": true, "WithLabelValues": true,
+}
+
+// commutativeCompoundOp lists the compound assignment operators whose
+// repeated application folds order-insensitively over numeric operands.
+var commutativeCompoundOp = map[string]bool{
+	"+=": true, "-=": true, "*=": true, "|=": true, "&=": true, "^=": true,
+}
+
+// outputSinks enumerates the sink uses at one CFG node.
+func outputSinks(pass *Pass, n ast.Node, o sinkOpts) []sinkUse {
+	var out []sinkUse
+	add := func(e ast.Expr, what string) {
+		out = append(out, sinkUse{expr: e, pos: e.Pos(), what: what})
+	}
+
+	walkShallowParts(n, func(sub ast.Node) {
+		call, ok := sub.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		pkg, recv, name, resolved := callee(pass, call)
+		if resolved && recv == "" {
+			switch {
+			case pkg == "fmt" && fmtAllArgs[name]:
+				for _, a := range call.Args {
+					add(a, fmt.Sprintf("fmt.%s output", name))
+				}
+				return
+			case pkg == "fmt" && fmtWriterArgs[name]:
+				for _, a := range call.Args[1:] {
+					add(a, fmt.Sprintf("fmt.%s output", name))
+				}
+				return
+			case pkg == "encoding/json" && (name == "Marshal" || name == "MarshalIndent"):
+				for _, a := range call.Args {
+					add(a, "json."+name+" input")
+				}
+				return
+			}
+		}
+		if mn := methodName(call); mn != "" {
+			switch {
+			case writeMethods[mn]:
+				for _, a := range call.Args {
+					add(a, mn+" output")
+				}
+			case mn == "Encode":
+				for _, a := range call.Args {
+					add(a, "Encode input")
+				}
+			case o.metricsExport && metricMethods[mn]:
+				for _, a := range call.Args {
+					add(a, "metrics export ("+mn+")")
+				}
+			}
+		}
+	})
+
+	switch n := n.(type) {
+	case *ast.ReturnStmt:
+		if o.returns {
+			for _, r := range n.Results {
+				add(r, "function return value")
+			}
+		}
+	case *ast.AssignStmt:
+		if o.fieldStores {
+			for i, lhs := range n.Lhs {
+				if _, isSel := ast.Unparen(lhs).(*ast.SelectorExpr); !isSel {
+					continue
+				}
+				if o.commutativeFieldStores && commutativeCompoundOp[n.Tok.String()] && isNumeric(pass.TypeOf(lhs)) {
+					continue
+				}
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				}
+				if rhs != nil {
+					add(rhs, "store into field "+exprString(lhs))
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,443 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A small flow-sensitive taint engine over the CFG + reaching-defs
+// layer. Clients (maporder, walltime) declare what introduces taint,
+// what launders it, and where tainted values must never arrive; the
+// engine runs one intraprocedural fixpoint per function body.
+//
+// Precision choices, deliberately biased against false positives on
+// this codebase's idioms:
+//   - a sanitizer call (sort.Strings(keys)) is a strong re-definition,
+//     so the sorted-after-collect pattern comes out clean;
+//   - numeric self-accumulation (sum += v, n++) is treated as an
+//     order-insensitive reduction when the spec opts in — map-order
+//     taint does not survive a commutative fold (string concatenation
+//     does: it stays tainted);
+//   - len() and cap() never propagate taint: a collection's size does
+//     not depend on iteration order;
+//   - nested function literals are separate bodies with their own
+//     fixpoint; captures arrive untainted (documented limitation).
+
+// taintSpec configures one client analyzer.
+type taintSpec struct {
+	// sourceDef reports whether a definition site is inherently tainted
+	// (e.g. a range binding over a map).
+	sourceDef func(pass *Pass, d *DefSite) bool
+	// sourceExpr reports whether a call expression produces a tainted
+	// value (e.g. time.Now()).
+	sourceExpr func(pass *Pass, call *ast.CallExpr) bool
+	// sanitized lists objects strongly re-defined clean by this node
+	// (e.g. sort.Strings(x) => x).
+	sanitized func(pass *Pass, n ast.Node) []types.Object
+	// sinks lists the uses at this node that must be clean.
+	sinks func(pass *Pass, n ast.Node) []sinkUse
+	// commutativeReduction exempts numeric self-accumulation from
+	// propagation (see package comment).
+	commutativeReduction bool
+}
+
+// sinkUse is one expression that must not be tainted at a node.
+type sinkUse struct {
+	expr ast.Expr
+	pos  token.Pos
+	what string // human description of the sink, e.g. "fmt.Fprintf argument"
+}
+
+// taintFinding is one tainted value arriving at a sink.
+type taintFinding struct {
+	pos    token.Pos // sink position
+	what   string    // sink description
+	origin token.Pos // the source that introduced the taint
+}
+
+// runTaint executes the spec over every function body in the pass.
+func runTaint(pass *Pass, spec *taintSpec) []taintFinding {
+	var out []taintFinding
+	for _, f := range pass.Files {
+		FuncBodies(f, func(owner ast.Node, body *ast.BlockStmt) {
+			out = append(out, runTaintBody(pass, spec, owner, body)...)
+		})
+	}
+	return out
+}
+
+// bodyTaint is the per-body solver state.
+type bodyTaint struct {
+	pass    *Pass
+	spec    *taintSpec
+	rd      *ReachingDefs
+	tainted map[*DefSite]token.Pos // def -> origin source position
+}
+
+func runTaintBody(pass *Pass, spec *taintSpec, owner ast.Node, body *ast.BlockStmt) []taintFinding {
+	cfg := BuildCFG(body)
+	var extra func(ast.Node) []types.Object
+	if spec.sanitized != nil {
+		extra = func(n ast.Node) []types.Object { return spec.sanitized(pass, n) }
+	}
+	bt := &bodyTaint{
+		pass:    pass,
+		spec:    spec,
+		rd:      NewReachingDefs(owner, cfg, pass.TypesInfo, extra),
+		tainted: make(map[*DefSite]token.Pos),
+	}
+	bt.solve()
+
+	var out []taintFinding
+	if spec.sinks == nil {
+		return nil
+	}
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			for _, u := range spec.sinks(pass, n) {
+				if origin, bad := bt.exprTainted(u.expr, n); bad {
+					out = append(out, taintFinding{pos: u.pos, what: u.what, origin: origin})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// solve iterates def-site taint to fixpoint: monotone (defs only ever
+// become tainted), so it terminates.
+func (bt *bodyTaint) solve() {
+	for changed := true; changed; {
+		changed = false
+		for _, d := range bt.rd.Sites() {
+			if _, done := bt.tainted[d]; done {
+				continue
+			}
+			if origin, is := bt.defTainted(d); is {
+				bt.tainted[d] = origin
+				changed = true
+			}
+		}
+	}
+}
+
+// defTainted decides whether definition d produces a tainted value
+// under the current solution.
+func (bt *bodyTaint) defTainted(d *DefSite) (token.Pos, bool) {
+	switch d.Kind {
+	case DefExtra:
+		return token.NoPos, false // sanitizer: clean by construction
+	case DefEntry:
+		if bt.spec.sourceDef != nil && bt.spec.sourceDef(bt.pass, d) {
+			return d.Node.Pos(), true
+		}
+		return token.NoPos, false
+	}
+	if bt.spec.sourceDef != nil && bt.spec.sourceDef(bt.pass, d) {
+		return d.Node.Pos(), true
+	}
+	switch d.Kind {
+	case DefRange:
+		// Propagation through a range: the element values of a tainted
+		// collection are tainted; the keys only when ranging a map.
+		if d.RHS == nil {
+			return token.NoPos, false
+		}
+		if !d.IsValue && !isMapType(bt.pass.TypeOf(d.RHS)) {
+			return token.NoPos, false
+		}
+		return bt.exprTainted(d.RHS, d.Node)
+	case DefAssign, DefWeak:
+		if d.RHS == nil {
+			// A weak def with no RHS models &x escaping into a call:
+			// tainted when any sibling argument of that call is.
+			return bt.addressTaken(d)
+		}
+		if bt.spec.commutativeReduction && bt.isCommutativeReduction(d) {
+			return token.NoPos, false
+		}
+		if d.Kind == DefWeak && bt.isPerKeyMapStore(d) {
+			return token.NoPos, false
+		}
+		return bt.exprTainted(d.RHS, d.Node)
+	}
+	return token.NoPos, false
+}
+
+// weakLHSExpr recovers the lvalue expression behind a weak definition:
+// the assignment LHS whose root identifier is d.Obj and whose matching
+// RHS is d.RHS, or the operand of an inc/dec statement.
+func (bt *bodyTaint) weakLHSExpr(d *DefSite) ast.Expr {
+	switch n := d.Node.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range n.Lhs {
+			root := rootIdent(lhs)
+			if root == nil || identObject(bt.pass.TypesInfo, root) != d.Obj {
+				continue
+			}
+			var rhs ast.Expr
+			if len(n.Rhs) == len(n.Lhs) {
+				rhs = n.Rhs[i]
+			} else if len(n.Rhs) == 1 {
+				rhs = n.Rhs[0]
+			}
+			if rhs == d.RHS {
+				return lhs
+			}
+		}
+	case *ast.IncDecStmt:
+		return n.X
+	}
+	return nil
+}
+
+// isPerKeyMapStore recognizes `m[k] = v` (possibly m.f[k]) where k is a
+// pure range key: every iteration writes a distinct key, so the built
+// map is identical under any iteration order and the store does not
+// taint the container. This is the canonical way Go code materializes a
+// transformed map (`for k, v := range src { dst[k] = f(v) }`).
+func (bt *bodyTaint) isPerKeyMapStore(d *DefSite) bool {
+	assign, ok := d.Node.(*ast.AssignStmt)
+	if !ok || (assign.Tok != token.ASSIGN && assign.Tok != token.DEFINE) {
+		return false
+	}
+	for i, lhs := range assign.Lhs {
+		root := rootIdent(lhs)
+		if root == nil || identObject(bt.pass.TypesInfo, root) != d.Obj {
+			continue
+		}
+		var rhs ast.Expr
+		if len(assign.Rhs) == len(assign.Lhs) {
+			rhs = assign.Rhs[i]
+		} else if len(assign.Rhs) == 1 {
+			rhs = assign.Rhs[0]
+		}
+		if rhs != d.RHS {
+			continue
+		}
+		idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		key, ok := ast.Unparen(idx.Index).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := identObject(bt.pass.TypesInfo, key)
+		if obj == nil {
+			return false
+		}
+		defs := bt.rd.At(d.Node, obj)
+		if len(defs) == 0 {
+			return false
+		}
+		for _, kd := range defs {
+			if kd.Kind != DefRange || kd.IsValue {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// addressTaken handles `f(..., &x, ...)`: x may be written from the
+// call's other (tainted) inputs.
+func (bt *bodyTaint) addressTaken(d *DefSite) (token.Pos, bool) {
+	var origin token.Pos
+	found := false
+	walkShallowParts(d.Node, func(sub ast.Node) {
+		if found {
+			return
+		}
+		call, ok := sub.(*ast.CallExpr)
+		if !ok || !callTakesAddressOf(call, d.Obj, bt.pass) {
+			return
+		}
+		for _, arg := range call.Args {
+			if o, bad := bt.exprTainted(arg, d.Node); bad {
+				origin, found = o, true
+				return
+			}
+		}
+	})
+	return origin, found
+}
+
+// isCommutativeReduction reports whether d is a numeric
+// self-accumulation: x++, x += e, or x = x + e with a commutative
+// operator on a non-string type. For weak defs (x.f += e, x[i] += e)
+// the stored-to lvalue is typed, not the root object: summing counters
+// into struct fields over a map range is just as order-insensitive.
+func (bt *bodyTaint) isCommutativeReduction(d *DefSite) bool {
+	t := d.Obj.Type()
+	if d.Kind == DefWeak {
+		lhs := bt.weakLHSExpr(d)
+		if lhs == nil {
+			return false
+		}
+		t = bt.pass.TypeOf(lhs)
+		if t == nil || !isNumeric(t) {
+			return false
+		}
+		return commutativeCompoundOp[d.Op]
+	}
+	if t == nil || !isNumeric(t) {
+		return false
+	}
+	switch d.Op {
+	case "++", "--", "+=", "-=", "*=", "|=", "&=", "^=":
+		return true
+	case "=", ":=":
+		bin, ok := ast.Unparen(d.RHS).(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		switch bin.Op.String() {
+		case "+", "*", "|", "&", "^":
+		default:
+			return false
+		}
+		selfRef := false
+		forEachUsedIdent(bin, func(id *ast.Ident) {
+			if identObject(bt.pass.TypesInfo, id) == d.Obj {
+				selfRef = true
+			}
+		})
+		return selfRef
+	}
+	return false
+}
+
+// exprTainted reports whether evaluating e at node can observe a
+// tainted value, and returns the origin of the first taint found.
+func (bt *bodyTaint) exprTainted(e ast.Expr, node ast.Node) (token.Pos, bool) {
+	if e == nil {
+		return token.NoPos, false
+	}
+	var origin token.Pos
+	found := false
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate body
+		case *ast.CallExpr:
+			if bt.spec.sourceExpr != nil && bt.spec.sourceExpr(bt.pass, n) {
+				origin, found = n.Pos(), true
+				return false
+			}
+			if isLenOrCap(bt.pass, n) {
+				return false // size is order-insensitive
+			}
+		case *ast.Ident:
+			obj := bt.pass.TypesInfo.Uses[n]
+			if obj == nil {
+				return true
+			}
+			for _, d := range bt.rd.At(node, obj) {
+				if o, ok := bt.tainted[d]; ok {
+					origin, found = o, true
+					return false
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(e, visit)
+	return origin, found
+}
+
+// --- shared shape helpers -------------------------------------------------
+
+// callee resolves a call to (package path, function name, receiver type
+// name). For methods, recv is the receiver's base type name; for plain
+// package functions it is empty. ok is false for builtins, conversions
+// and indirect calls.
+func callee(pass *Pass, call *ast.CallExpr) (pkgPath, recv, name string, ok bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		obj, isFn := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		if !isFn || obj.Pkg() == nil {
+			return "", "", "", false
+		}
+		sig, isSig := obj.Type().(*types.Signature)
+		if !isSig {
+			return "", "", "", false
+		}
+		if r := sig.Recv(); r != nil {
+			return obj.Pkg().Path(), receiverTypeName(r.Type()), obj.Name(), true
+		}
+		return obj.Pkg().Path(), "", obj.Name(), true
+	case *ast.Ident:
+		obj, isFn := pass.TypesInfo.Uses[fun].(*types.Func)
+		if !isFn || obj.Pkg() == nil {
+			return "", "", "", false
+		}
+		return obj.Pkg().Path(), "", obj.Name(), true
+	}
+	return "", "", "", false
+}
+
+// methodName returns the bare selector name of a method-shaped call
+// ("x.Write(...)" => "Write"), without requiring type resolution.
+func methodName(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+func isLenOrCap(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, isB := pass.TypesInfo.Uses[id].(*types.Builtin); isB {
+		return b.Name() == "len" || b.Name() == "cap"
+	}
+	return false
+}
+
+func callTakesAddressOf(call *ast.CallExpr, obj types.Object, pass *Pass) bool {
+	for _, arg := range call.Args {
+		if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+			if root := rootIdent(u.X); root != nil && identObject(pass.TypesInfo, root) == obj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isNumeric(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+// walkShallowParts is walkShallow, except that composite loop nodes
+// (RangeStmt) only expose their header expressions — their bodies live
+// in other CFG blocks and must not be double-visited.
+func walkShallowParts(n ast.Node, fn func(ast.Node)) {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		for _, part := range []ast.Node{r.Key, r.Value, r.X} {
+			if part != nil {
+				walkShallow(part, fn)
+			}
+		}
+		return
+	}
+	walkShallow(n, fn)
+}

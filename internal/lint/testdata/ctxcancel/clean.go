@@ -1,0 +1,45 @@
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+// Deferred is the canonical correct form.
+func Deferred() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	work(ctx)
+}
+
+// AllPaths calls cancel explicitly on every path to return; the CFG
+// check proves no path escapes it.
+func AllPaths(ok bool) {
+	ctx, cancel := context.WithCancel(context.Background())
+	if ok {
+		work(ctx)
+		cancel()
+		return
+	}
+	cancel()
+}
+
+// Handed passes the cancel function elsewhere; responsibility for
+// calling it escapes this function.
+func Handed() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	register(cancel)
+	return ctx
+}
+
+// DeferredClosure cancels inside a deferred cleanup closure.
+func DeferredClosure() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer func() {
+		cancel()
+	}()
+	work(ctx)
+}
+
+func register(f context.CancelFunc) {}
+func work(ctx context.Context)      {}

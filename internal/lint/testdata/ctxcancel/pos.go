@@ -1,0 +1,26 @@
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+// Discarded drops the cancel function outright: the timer leaks until
+// the parent context is done.
+func Discarded() context.Context {
+	ctx, _ := context.WithTimeout(context.Background(), time.Second)
+	return ctx
+}
+
+// EarlyReturn cancels late, but the early return path skips it.
+func EarlyReturn(ready bool) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	if !ready {
+		return nil
+	}
+	use(ctx)
+	cancel()
+	return nil
+}
+
+func use(ctx context.Context) {}

@@ -1,0 +1,68 @@
+package fixture
+
+import (
+	"io"
+	"os"
+)
+
+// WriteOut discards the deferred Close error on a written file: a short
+// write surfaces exactly there and is lost.
+func WriteOut(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(data)
+	return err
+}
+
+// AppendLog opens writable through os.OpenFile flags.
+func AppendLog(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(data)
+	return err
+}
+
+// ReadIn keeps the deferred idiom on a read-only file: Close after a
+// read cannot lose data, so reaching definitions exempt it.
+func ReadIn(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// ReadOnlyFlags is exempt through constant-folded OpenFile flags.
+func ReadOnlyFlags(path string) error {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var buf [8]byte
+	_, err = f.Read(buf[:])
+	return err
+}
+
+// Named captures the close error in a named return: the corrected
+// pattern the diagnostic recommends.
+func Named(path string, data []byte) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	_, err = f.Write(data)
+	return err
+}

@@ -1,0 +1,66 @@
+package fixture
+
+import "sync"
+
+// WorkerPool is the repository's canonical discipline: WaitGroup.Add
+// and the semaphore acquire both happen before the go statement.
+func WorkerPool(items []int) []int {
+	out := make([]int, len(items))
+	sem := make(chan struct{}, 4)
+	var wg sync.WaitGroup
+	for i := range items {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i] = work(i)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// AlwaysDrained sends on an unbuffered channel the parent receives
+// from on every path to return.
+func AlwaysDrained() int {
+	ch := make(chan int)
+	go func() {
+		ch <- work(0)
+	}()
+	return <-ch
+}
+
+// Buffered result channels cannot block the sender.
+func Buffered(n int) int {
+	ch := make(chan int, 8)
+	go func() {
+		ch <- work(n)
+	}()
+	return <-ch
+}
+
+// SelectEscape sends under a select with a default clause: the
+// goroutine can always make progress.
+func SelectEscape() {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- 1:
+		default:
+		}
+	}()
+}
+
+// Escaping channels handed to another function may be drained by code
+// outside this analysis window.
+func Escaping() {
+	ch := make(chan int)
+	go func() {
+		ch <- work(2)
+	}()
+	drain(ch)
+}
+
+func drain(ch chan int) { <-ch }
+func work(i int) int    { return i }

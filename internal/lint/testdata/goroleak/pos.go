@@ -1,0 +1,50 @@
+package fixture
+
+import "sync"
+
+// LeakySend spawns a goroutine sending on an unbuffered channel that
+// the parent skips draining on the error path: the goroutine blocks on
+// the send forever.
+func LeakySend(fail bool) int {
+	ch := make(chan int)
+	go func() {
+		ch <- compute()
+	}()
+	if fail {
+		return 0
+	}
+	return <-ch
+}
+
+// AddInside calls WaitGroup.Add inside the goroutine: Wait in the
+// parent can observe a zero counter before the goroutine runs.
+func AddInside(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1)
+			defer wg.Done()
+			compute()
+		}()
+	}
+	wg.Wait()
+}
+
+// AcquireInside grabs the semaphore slot inside the goroutine, so the
+// whole fan-out materializes before any slot limits it.
+func AcquireInside(items []int) {
+	sem := make(chan struct{}, 4)
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			compute()
+		}()
+	}
+	wg.Wait()
+}
+
+func compute() int { return 1 }

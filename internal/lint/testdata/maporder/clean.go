@@ -1,0 +1,63 @@
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SortedKeys is the canonical sorted-after-collect pattern: the sort is
+// a strong clean re-definition.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Sum folds commutatively; iteration order cannot matter.
+func Sum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Transform builds a same-keyed map; per-key stores are order-free.
+func Transform(src map[string]int) map[string]int {
+	dst := make(map[string]int, len(src))
+	for k, v := range src {
+		dst[k] = v * 2
+	}
+	return dst
+}
+
+// Size depends only on the element count.
+func Size(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+type counters struct{ Total int }
+
+// Tally sums into a field; commutative compound stores stay clean.
+func Tally(m map[string]int, c *counters) {
+	for _, v := range m {
+		c.Total += v
+	}
+}
+
+// PrintSorted sorts a collected copy via sort.Slice before printing.
+func PrintSorted(m map[string]float64) {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	fmt.Println(vals)
+}

@@ -1,0 +1,53 @@
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Emit prints map keys in iteration order: nondeterministic output.
+func Emit(m map[string]float64) {
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+// Keys returns keys in map order without sorting.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Render writes map-ordered values into a builder.
+func Render(m map[string]string) string {
+	var b strings.Builder
+	for _, v := range m {
+		b.WriteString(v)
+	}
+	return b.String()
+}
+
+// SortedTooLate prints the partial slice inside the loop; the sort
+// below only launders the final return.
+func SortedTooLate(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+		fmt.Println(out)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type summary struct{ First string }
+
+// Store stashes a map-ordered value into struct state.
+func Store(m map[string]int, s *summary) {
+	for k := range m {
+		s.First = k
+	}
+}

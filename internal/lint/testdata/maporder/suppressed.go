@@ -1,0 +1,12 @@
+package fixture
+
+import "fmt"
+
+// DebugDump deliberately prints in map order; the directive records why
+// that is acceptable.
+func DebugDump(m map[string]int) {
+	for k, v := range m {
+		//lint:ignore maporder debug output, ordering is irrelevant
+		fmt.Println(k, v)
+	}
+}

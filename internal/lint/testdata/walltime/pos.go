@@ -1,0 +1,33 @@
+package fixture
+
+import (
+	"fmt"
+	"time"
+)
+
+type model struct {
+	TrainedAt time.Time
+	Elapsed   float64
+}
+
+// Stamp embeds the wall clock in model state.
+func Stamp(m *model) {
+	m.TrainedAt = time.Now()
+}
+
+// Record stores elapsed seconds into exported state.
+func Record(m *model, start time.Time) {
+	m.Elapsed = time.Since(start).Seconds()
+}
+
+// Accumulate keeps a wall-clock running total in struct state; unlike
+// map-order counters there is no commutative exemption, because the
+// total itself is nondeterministic.
+func Accumulate(m *model, start time.Time) {
+	m.Elapsed += time.Since(start).Seconds()
+}
+
+// Export renders a timestamp into the artifact body.
+func Export() string {
+	return fmt.Sprintf("generated %s", time.Now())
+}

@@ -1,0 +1,30 @@
+package trace
+
+import (
+	"io"
+	"os"
+)
+
+// WriteFile creates path, streams write's output into it, and closes
+// the file *on the write path*, returning the Close error. The
+// `defer f.Close()` idiom the command-line tools used silently dropped
+// that error — and for a freshly written file Close is exactly where a
+// short write or full disk surfaces (errcheck's defer-Close extension
+// now flags the pattern). A failed write removes the partial file so a
+// truncated CSV or model export is never mistaken for a complete one.
+func WriteFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()       //lint:ignore errcheck write error takes precedence
+		os.Remove(path) //lint:ignore errcheck best-effort cleanup of partial output
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path) //lint:ignore errcheck best-effort cleanup of partial output
+		return err
+	}
+	return nil
+}
