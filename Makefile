@@ -3,16 +3,16 @@ GO ?= go
 # Packages exercised under the race detector: the concurrency-heavy
 # runtime, scheduler, profiler, and cluster-hierarchy layers, plus the
 # lock-free metrics registry.
-RACE_PKGS = ./internal/rts ./internal/sched ./internal/profiler ./internal/hierarchy ./internal/metrics
+RACE_PKGS = ./internal/rts ./internal/sched ./internal/profiler ./internal/hierarchy ./internal/metrics ./internal/supervise ./internal/checkpoint
 
 # Packages with fault-injection (chaos) suites, run under -race: the
 # deterministic fault scenarios exercise the retry/quarantine/ladder
 # paths that clean tests never reach.
 CHAOS_PKGS = ./internal/rts ./internal/sched ./internal/power ./internal/fault
 
-.PHONY: all build vet lint lint-sarif lint-fix-check test test-race test-chaos metrics-check fmt-check bench repro csv fuzz fuzz-smoke clean
+.PHONY: all build vet lint lint-sarif lint-fix-check test test-race test-chaos test-crash metrics-check fmt-check bench repro csv fuzz fuzz-smoke clean
 
-all: build vet lint lint-fix-check test test-race test-chaos metrics-check
+all: build vet lint lint-fix-check test test-race test-chaos test-crash metrics-check
 
 # Where the cached lint results live (content-addressed; safe to share
 # across branches and restore in CI).
@@ -72,6 +72,13 @@ test-race:
 test-chaos:
 	$(GO) test -race $(CHAOS_PKGS)
 
+# Crash-recovery suite: the acsel-serve daemon is SIGKILLed mid-epoch
+# in a child process and restarted; the resumed run's summary must be
+# identical to an uninterrupted run on the same fault plan. Set
+# ACSEL_CRASH_ARTIFACT_DIR to keep the journals of a failing run.
+test-crash:
+	$(GO) test -count=1 -v -run 'TestCrash|TestServe' ./cmd/acsel-serve
+
 # End-to-end observability smoke test: a one-iteration bench run must
 # produce a JSON snapshot carrying every instrumented subsystem's
 # families (rts registers via acsel-bench's blank import, at zero).
@@ -109,6 +116,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzKendallTauRanks -fuzztime 10s ./internal/stats
 	$(GO) test -run '^$$' -fuzz FuzzSharedOrder -fuzztime 10s ./internal/pareto
 	$(GO) test -run '^$$' -fuzz FuzzPreprocess -fuzztime 10s ./internal/pragma
+	$(GO) test -run '^$$' -fuzz FuzzCheckpointDecode -fuzztime 10s ./internal/checkpoint
 
 clean:
 	rm -rf out/ model.json profiles.json lint.sarif $(LINT_CACHE)

@@ -46,7 +46,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "acsel-app: metrics listener:", err)
 			os.Exit(1)
 		}
-		defer stop()
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "acsel-app: metrics shutdown:", err)
+			}
+		}()
 		fmt.Fprintf(os.Stderr, "metrics: serving http://%s/metrics (and /debug/pprof)\n", addr)
 	}
 

@@ -1,0 +1,56 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpointDecode asserts the tolerant reader's contract under
+// arbitrary corruption: whatever bytes arrive, Decode must never
+// panic, and its answer must be one of (a) ErrBadHeader, or (b) a
+// valid-prefix result whose ValidBytes re-decodes to the same records
+// with no truncation — i.e. truncation is idempotent, so a recovered
+// journal recovers identically a second time.
+func FuzzCheckpointDecode(f *testing.F) {
+	// Seed with a genuine journal so mutations explore realistic
+	// framing, plus the degenerate shapes.
+	valid := header()
+	for i := 0; i < 4; i++ {
+		valid = append(valid, frame(Record{Type: byte(i + 1), Data: []byte{0xA0, byte(i), 0x0F}})...)
+	}
+	f.Add(valid)
+	f.Add(header())
+	f.Add([]byte{})
+	f.Add([]byte("ACSJ"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, info, err := Decode(data)
+		if err != nil {
+			if recs != nil {
+				t.Fatalf("error %v alongside %d records", err, len(recs))
+			}
+			return
+		}
+		if info.ValidBytes < headerLen || info.ValidBytes > int64(len(data)) {
+			t.Fatalf("ValidBytes %d out of range [8,%d]", info.ValidBytes, len(data))
+		}
+		if info.Records != len(recs) {
+			t.Fatalf("info.Records %d != len(recs) %d", info.Records, len(recs))
+		}
+		// Re-decoding the valid prefix must be clean and identical.
+		recs2, info2, err2 := Decode(data[:info.ValidBytes])
+		if err2 != nil {
+			t.Fatalf("re-decode of valid prefix errored: %v", err2)
+		}
+		if info2.Truncated {
+			t.Fatal("re-decode of valid prefix reported truncation")
+		}
+		if len(recs2) != len(recs) {
+			t.Fatalf("re-decode found %d records, want %d", len(recs2), len(recs))
+		}
+		for i := range recs {
+			if recs[i].Type != recs2[i].Type || !bytes.Equal(recs[i].Data, recs2[i].Data) {
+				t.Fatalf("record %d changed across re-decode", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,19 @@
+package checkpoint
+
+import "acsel/internal/metrics"
+
+// Metric families of the crash-safety layer. Restart-time recovery is
+// exactly the moment an operator is staring at dashboards, so every
+// journal action leaves a quantitative trail: how much was written,
+// how often snapshots compacted the log, and whether any read ever
+// had to drop a torn tail.
+var (
+	mAppended = metrics.NewCounter("acsel_checkpoint_records_appended_total",
+		"Records framed and written to a checkpoint journal (appends and compaction rewrites).")
+	mBytes = metrics.NewCounter("acsel_checkpoint_bytes_written_total",
+		"Bytes written to checkpoint journals, including framing overhead.")
+	mSnapshots = metrics.NewCounter("acsel_checkpoint_snapshots_total",
+		"Atomic snapshot+compaction rewrites of a journal.")
+	mTruncated = metrics.NewCounter("acsel_checkpoint_truncated_reads_total",
+		"Journal reads that ended in a torn or corrupt tail record and dropped it.")
+)

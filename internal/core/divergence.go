@@ -66,6 +66,23 @@ func (d *DivergenceTracker) Reset() {
 	d.n = 0
 }
 
+// State exposes the tracker's internals for checkpointing: the current
+// EWMA and the observation count.
+func (d *DivergenceTracker) State() (ewma float64, samples int) {
+	return d.ewma, d.n
+}
+
+// SetState restores a tracker to a checkpointed State. A negative
+// sample count is clamped to zero so a corrupt checkpoint cannot make
+// Diverged report true with no observations.
+func (d *DivergenceTracker) SetState(ewma float64, samples int) {
+	if samples < 0 {
+		samples = 0
+	}
+	d.ewma = ewma
+	d.n = samples
+}
+
 func isUsableW(w float64) bool {
 	return !math.IsNaN(w) && !math.IsInf(w, 0) && w > 0
 }

@@ -242,6 +242,9 @@ func EventKey(id string, sub int) string {
 // ParsePlan parses a "scenario[:seed]" plan string (seed defaults to
 // 1) into an injector, resolving the scenario by name.
 func ParsePlan(plan string) (*Injector, error) {
+	if plan == "" {
+		return nil, fmt.Errorf("fault: empty plan (want scenario[:seed]; a clean run passes no plan at all)")
+	}
 	name := plan
 	seed := int64(1)
 	if i := strings.LastIndexByte(plan, ':'); i >= 0 {
@@ -252,6 +255,9 @@ func ParsePlan(plan string) (*Injector, error) {
 		}
 		seed = v
 	}
+	if name == "" {
+		return nil, fmt.Errorf("fault: plan %q names no scenario", plan)
+	}
 	sc, ok := ScenarioByName(name)
 	if !ok {
 		var names []string
@@ -260,6 +266,9 @@ func ParsePlan(plan string) (*Injector, error) {
 		}
 		sort.Strings(names)
 		return nil, fmt.Errorf("fault: unknown scenario %q (have %v)", name, names)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
 	}
 	return NewInjector(sc, seed), nil
 }

@@ -1,7 +1,10 @@
 package fault
 
 import (
+	"errors"
+	"math"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -206,5 +209,96 @@ func TestParsePlan(t *testing.T) {
 func TestEventKey(t *testing.T) {
 	if EventKey("a/b", 7) != "a/b|7" {
 		t.Errorf("EventKey = %q", EventKey("a/b", 7))
+	}
+}
+
+func TestParsePlanEdgeCases(t *testing.T) {
+	cases := []struct {
+		plan string
+		want string // error substring
+	}{
+		{"", "empty plan"},
+		{":5", "names no scenario"},
+		{":", "bad plan seed"},
+		{"blackout:", "bad plan seed"},
+		{"blackout:1:2", "unknown scenario"}, // the last colon splits; "blackout:1" is no scenario
+		{"blackout:+7", ""},                  // ParseInt accepts an explicit sign
+		{"blackout:-3", ""},                  // negative seeds are legal plan identities
+		{"blackout: 7", "bad plan seed"},
+	}
+	for _, tc := range cases {
+		in, err := ParsePlan(tc.plan)
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("ParsePlan(%q): unexpected error %v", tc.plan, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("ParsePlan(%q) = %v, want error containing %q", tc.plan, in, tc.want)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParsePlan(%q) error %q does not mention %q", tc.plan, err, tc.want)
+		}
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	// Every built-in scenario must pass its own gate.
+	for _, sc := range Scenarios() {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("built-in scenario %q fails validation: %v", sc.Name, err)
+		}
+	}
+	// An empty rule set is a legal (if pointless) scenario; "clean" is
+	// just not in the catalog.
+	if err := (Scenario{Name: "noop"}).Validate(); err != nil {
+		t.Errorf("empty rule set rejected: %v", err)
+	}
+
+	bad := []struct {
+		name string
+		sc   Scenario
+		want string
+	}{
+		{"empty name", Scenario{}, "empty name"},
+		{"zero probability", Scenario{Name: "s", Rules: []Rule{
+			{Site: SiteSMU, Kind: SensorDropout, Prob: 0}}}, "outside (0, 1]"},
+		{"negative probability", Scenario{Name: "s", Rules: []Rule{
+			{Site: SiteSMU, Kind: SensorDropout, Prob: -0.1}}}, "outside (0, 1]"},
+		{"probability above one", Scenario{Name: "s", Rules: []Rule{
+			{Site: SiteSMU, Kind: SensorDropout, Prob: 1.5}}}, "outside (0, 1]"},
+		{"NaN probability", Scenario{Name: "s", Rules: []Rule{
+			{Site: SiteSMU, Kind: SensorDropout, Prob: math.NaN()}}}, "outside (0, 1]"},
+		{"NaN magnitude", Scenario{Name: "s", Rules: []Rule{
+			{Site: SiteSMU, Kind: SensorStuck, Prob: 0.5, Magnitude: math.NaN()}}}, "magnitude"},
+		{"infinite magnitude", Scenario{Name: "s", Rules: []Rule{
+			{Site: SiteSMU, Kind: SensorSpike, Prob: 0.5, Magnitude: math.Inf(1)}}}, "magnitude"},
+		{"negative magnitude", Scenario{Name: "s", Rules: []Rule{
+			{Site: SiteSMU, Kind: SensorStuck, Prob: 0.5, Magnitude: -2}}}, "magnitude"},
+		{"duplicate site+kind", Scenario{Name: "s", Rules: []Rule{
+			{Site: SitePState, Kind: PStateFail, Prob: 0.2},
+			{Site: SitePState, Kind: PStateDelay, Prob: 0.2, Magnitude: 2},
+			{Site: SitePState, Kind: PStateFail, Prob: 0.4}}}, "duplicates"},
+	}
+	for _, tc := range bad {
+		err := tc.sc.Validate()
+		if err == nil {
+			t.Errorf("%s: validated", tc.name)
+			continue
+		}
+		if !errors.Is(err, ErrBadScenario) {
+			t.Errorf("%s: error %v is not ErrBadScenario", tc.name, err)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	// The same (kind, site) pair at different sites is not a duplicate.
+	ok := Scenario{Name: "s", Rules: []Rule{
+		{Site: SiteSMU, Kind: SensorDropout, Prob: 0.2},
+		{Site: SiteCounter, Kind: SensorDropout, Prob: 0.2},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("cross-site rule pair rejected: %v", err)
 	}
 }

@@ -1,5 +1,11 @@
 package fault
 
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
 // Scenario is a named fault plan body: the rule set one chaos run
 // injects. Rates and magnitudes follow the failure modes the related
 // work treats as routine in deployment — sensor dropout and noise
@@ -9,6 +15,38 @@ type Scenario struct {
 	Name        string
 	Description string
 	Rules       []Rule
+}
+
+// ErrBadScenario reports a scenario Validate rejected.
+var ErrBadScenario = errors.New("fault: invalid scenario")
+
+// Validate checks a scenario's shape: a name, probabilities in (0, 1],
+// finite non-negative magnitudes, and no duplicate (site, kind) rule —
+// a duplicate would double-inject silently, which is never what a plan
+// author meant. Every built-in scenario validates; the check exists
+// for hand-built scenarios and future catalog edits.
+func (s Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("%w: empty name", ErrBadScenario)
+	}
+	seen := map[[2]int]bool{}
+	for i, r := range s.Rules {
+		if math.IsNaN(r.Prob) || r.Prob <= 0 || r.Prob > 1 {
+			return fmt.Errorf("%w: %s rule %d (%s at %s): probability %v outside (0, 1]",
+				ErrBadScenario, s.Name, i, r.Kind, r.Site, r.Prob)
+		}
+		if math.IsNaN(r.Magnitude) || math.IsInf(r.Magnitude, 0) || r.Magnitude < 0 {
+			return fmt.Errorf("%w: %s rule %d (%s at %s): magnitude %v is not a finite non-negative value",
+				ErrBadScenario, s.Name, i, r.Kind, r.Site, r.Magnitude)
+		}
+		key := [2]int{int(r.Site), int(r.Kind)}
+		if seen[key] {
+			return fmt.Errorf("%w: %s rule %d duplicates %s at %s",
+				ErrBadScenario, s.Name, i, r.Kind, r.Site)
+		}
+		seen[key] = true
+	}
+	return nil
 }
 
 // Scenarios returns the built-in scenario catalog in presentation

@@ -5,10 +5,13 @@
 package metrics
 
 import (
+	"context"
+	"errors"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"time"
 )
 
 // Handler serves the registry in Prometheus text exposition format.
@@ -46,26 +49,58 @@ func (r *Registry) NewMux() *http.ServeMux {
 	return mux
 }
 
-// Serve starts an HTTP listener on addr exposing the registry's mux.
+// Timeouts for the observability listener. ReadHeaderTimeout is the
+// slowloris guard (a client that trickles header bytes holds a
+// connection, not the server); IdleTimeout reaps keep-alive
+// connections between scrapes. Read/write timeouts stay unset because
+// /debug/pprof/profile legitimately streams for tens of seconds.
+const (
+	readHeaderTimeout = 10 * time.Second
+	idleTimeout       = 2 * time.Minute
+	shutdownTimeout   = 5 * time.Second
+)
+
+// ListenAndServe starts a hardened HTTP listener on addr serving h.
 // It returns the bound address (useful with ":0") and a close function
-// that stops the listener. The server runs until closed; serve errors
-// after shutdown are expected and discarded.
-func (r *Registry) Serve(addr string) (string, func(), error) {
+// that drains in-flight requests via Shutdown under a bounded context
+// — falling back to a hard Close if draining exceeds the bound — and
+// reports any shutdown error instead of swallowing it.
+func ListenAndServe(addr string, h http.Handler) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: r.NewMux()}
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: readHeaderTimeout,
+		IdleTimeout:       idleTimeout,
+	}
 	go func() {
 		// ErrServerClosed (or a post-close accept error) is the normal
 		// end of life for this listener.
 		_ = srv.Serve(ln)
 	}()
-	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+	stop := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		if errors.Is(err, context.DeadlineExceeded) {
+			// A request outlived the drain budget; cut it off.
+			return srv.Close()
+		}
+		return err
+	}
+	return ln.Addr().String(), stop, nil
+}
+
+// Serve starts an HTTP listener on addr exposing the registry's mux.
+// See ListenAndServe for the timeout and shutdown contract.
+func (r *Registry) Serve(addr string) (string, func() error, error) {
+	return ListenAndServe(addr, r.NewMux())
 }
 
 // Serve starts the Default registry's observability listener.
-func Serve(addr string) (string, func(), error) { return Default.Serve(addr) }
+func Serve(addr string) (string, func() error, error) { return Default.Serve(addr) }
 
 // DumpFile writes the registry's JSON snapshot to path (the
 // -metrics-dump contract: headless runs keep their telemetry).

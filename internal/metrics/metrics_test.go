@@ -356,7 +356,11 @@ func TestServeEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer stop()
+	defer func() {
+		if err := stop(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
 
 	resp, err := http.Get("http://" + addr + "/metrics")
 	if err != nil {

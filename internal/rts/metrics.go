@@ -26,4 +26,6 @@ var (
 		"Reselections that found no predicted-frontier point under the cap and fell back to minimum predicted power.")
 	mDivergence = metrics.NewGauge("acsel_rts_model_divergence_ratio",
 		"Most recently observed smoothed |measured-predicted|/predicted power divergence (EWMA).")
+	mRestores = metrics.NewCounter("acsel_rts_restores_total",
+		"Runtime state restorations from a checkpoint snapshot.")
 )

@@ -1,0 +1,61 @@
+package supervise
+
+import (
+	"sync"
+	"time"
+)
+
+// Watchdog enforces a per-epoch deadline: if Pet is not called within
+// the deadline, the expiry callback fires (typically cancelling the
+// worker's context so the supervisor restarts it). It is built on a
+// resettable timer — no wall-clock reads — and firing is one-shot
+// until the next Pet re-arms it, so a hung epoch produces exactly one
+// restart, not a restart storm.
+type Watchdog struct {
+	name     string
+	deadline time.Duration
+	onExpire func()
+
+	mu      sync.Mutex
+	timer   *time.Timer
+	stopped bool
+}
+
+// NewWatchdog arms a watchdog with the given deadline. onExpire runs
+// on the timer's goroutine; keep it small (cancel a context, bump a
+// counter).
+func NewWatchdog(name string, deadline time.Duration, onExpire func()) *Watchdog {
+	w := &Watchdog{name: name, deadline: deadline, onExpire: onExpire}
+	w.timer = time.AfterFunc(deadline, w.fire)
+	return w
+}
+
+func (w *Watchdog) fire() {
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return
+	}
+	w.mu.Unlock()
+	mWatchdogTimeouts.With(w.name).Inc()
+	w.onExpire()
+}
+
+// Pet re-arms the deadline. Call it at every epoch boundary (or any
+// other liveness proof).
+func (w *Watchdog) Pet() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.stopped {
+		return
+	}
+	w.timer.Reset(w.deadline)
+}
+
+// Stop disarms the watchdog permanently.
+func (w *Watchdog) Stop() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.stopped = true
+	w.timer.Stop()
+}
