@@ -3,16 +3,16 @@ GO ?= go
 # Packages exercised under the race detector: the concurrency-heavy
 # runtime, scheduler, profiler, and cluster-hierarchy layers, plus the
 # lock-free metrics registry.
-RACE_PKGS = ./internal/rts ./internal/sched ./internal/profiler ./internal/hierarchy ./internal/metrics ./internal/supervise ./internal/checkpoint
+RACE_PKGS = ./internal/rts ./internal/sched ./internal/profiler ./internal/hierarchy ./internal/metrics ./internal/supervise ./internal/checkpoint ./internal/fleet
 
 # Packages with fault-injection (chaos) suites, run under -race: the
 # deterministic fault scenarios exercise the retry/quarantine/ladder
 # paths that clean tests never reach.
-CHAOS_PKGS = ./internal/rts ./internal/sched ./internal/power ./internal/fault
+CHAOS_PKGS = ./internal/rts ./internal/sched ./internal/power ./internal/fault ./internal/fleet
 
-.PHONY: all build vet lint lint-sarif lint-fix-check test test-race test-chaos test-crash metrics-check fmt-check bench repro csv fuzz fuzz-smoke clean
+.PHONY: all build vet lint lint-sarif lint-fix-check test test-race test-chaos test-crash test-fleet metrics-check fmt-check bench repro csv fuzz fuzz-smoke clean
 
-all: build vet lint lint-fix-check test test-race test-chaos test-crash metrics-check
+all: build vet lint lint-fix-check test test-race test-chaos test-crash test-fleet metrics-check
 
 # Where the cached lint results live (content-addressed; safe to share
 # across branches and restore in CI).
@@ -78,6 +78,15 @@ test-chaos:
 # ACSEL_CRASH_ARTIFACT_DIR to keep the journals of a failing run.
 test-crash:
 	$(GO) test -count=1 -v -run 'TestCrash|TestServe' ./cmd/acsel-serve
+
+# Fleet integration suite: a child acsel-fleet coordinator rebalances
+# three live loopback agents; one agent is killed mid-run (lease
+# eviction + watt redistribution) and the coordinator itself is
+# SIGKILLed and restarted (checkpoint resume). The in-process loopback
+# suite in internal/fleet runs alongside it.
+test-fleet:
+	$(GO) test -count=1 -v -run 'TestFleet' ./cmd/acsel-fleet
+	$(GO) test -count=1 ./internal/fleet
 
 # End-to-end observability smoke test: a one-iteration bench run must
 # produce a JSON snapshot carrying every instrumented subsystem's

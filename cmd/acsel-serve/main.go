@@ -43,6 +43,10 @@ func main() {
 	flag.DurationVar(&cfg.EpochDelay, "epoch-delay", 0, "pause between epochs (a real service paces itself)")
 	flag.DurationVar(&cfg.EpochDeadline, "epoch-deadline", 0, "watchdog deadline per epoch; a stalled epoch restarts the worker (0 disables)")
 	flag.StringVar(&cfg.Addr, "addr", "", "serve /healthz, /readyz, /metrics, and /debug/pprof on this address")
+	flag.StringVar(&cfg.Fleet, "fleet", "", "join the fleet coordinator at this base URL (requires -addr; serves /fleet/report and /fleet/cap)")
+	flag.StringVar(&cfg.NodeName, "node-name", "", "fleet member name (default: the bench/input pair)")
+	flag.DurationVar(&cfg.HeartbeatEvery, "heartbeat", time.Second, "fleet lease-renewal period")
+	flag.DurationVar(&cfg.OrphanAfter, "orphan-after", 0, "drop to the floor cap after this long without coordinator contact (0 = 5x heartbeat)")
 	flag.StringVar(&cfg.SummaryPath, "summary", "", "write a JSON run summary to this file at clean exit")
 	flag.IntVar(&cfg.TrainIterations, "train-iterations", 0, "profiling iterations per configuration during training (0 = paper default)")
 	flag.StringVar(&cfg.ModelCache, "model-cache", "", "optional directory for the content-addressed trained-model cache")
@@ -74,6 +78,10 @@ type config struct {
 	EpochDelay      time.Duration
 	EpochDeadline   time.Duration
 	Addr            string
+	Fleet           string
+	NodeName        string
+	HeartbeatEvery  time.Duration
+	OrphanAfter     time.Duration
 	SummaryPath     string
 	TrainIterations int
 	ModelCache      string

@@ -15,6 +15,7 @@ import (
 	"acsel/internal/checkpoint"
 	"acsel/internal/core"
 	"acsel/internal/fault"
+	"acsel/internal/fleet"
 	"acsel/internal/kernels"
 	"acsel/internal/metrics"
 	"acsel/internal/profiler"
@@ -46,6 +47,11 @@ type service struct {
 	app    []kernels.Kernel
 	w      *checkpoint.Writer
 	stderr io.Writer
+
+	// agent is the node's fleet membership, when -fleet is set: the
+	// coordinator pulls this runtime's report and pushes its cap
+	// through the same mux that serves /metrics.
+	agent *fleet.Agent
 
 	// Position in the epoch schedule; derived from the journal on
 	// recovery (the schedule never skips kernels, so the step count
@@ -158,12 +164,34 @@ func run(ctx context.Context, cfg config, stderr io.Writer) error {
 		s.w.Close() //lint:ignore errcheck final compaction already synced the data
 	}()
 
+	if cfg.Fleet != "" && cfg.Addr == "" {
+		return errors.New("-fleet requires -addr (the coordinator calls the agent back)")
+	}
 	if cfg.Addr != "" {
 		mux := metrics.Default.NewMux()
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 			fmt.Fprintln(w, "ok")
 		})
 		mux.HandleFunc("/readyz", s.readyz)
+		if cfg.Fleet != "" {
+			name := cfg.NodeName
+			if name == "" {
+				name = fmt.Sprintf("%s-%s", cfg.Bench, cfg.Input)
+			}
+			agent, aerr := fleet.NewAgent(name, rt, app, fleet.AgentOptions{
+				Coordinator:    cfg.Fleet,
+				HeartbeatEvery: cfg.HeartbeatEvery,
+				OrphanAfter:    cfg.OrphanAfter,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(stderr, format+"\n", args...)
+				},
+			})
+			if aerr != nil {
+				return aerr
+			}
+			agent.Register(mux)
+			s.agent = agent
+		}
 		addr, stopHTTP, err := metrics.ListenAndServe(cfg.Addr, mux)
 		if err != nil {
 			return err
@@ -173,6 +201,14 @@ func run(ctx context.Context, cfg config, stderr io.Writer) error {
 				fmt.Fprintln(stderr, "acsel-serve: http shutdown:", err)
 			}
 		}()
+		if s.agent != nil {
+			go func() {
+				if err := s.agent.Run(ctx, "http://"+addr); err != nil {
+					fmt.Fprintln(stderr, "acsel-serve: fleet agent:", err)
+				}
+			}()
+			fmt.Fprintf(stderr, "fleet member %s reporting to %s\n", s.agent.Name(), cfg.Fleet)
+		}
 		fmt.Fprintf(stderr, "serving http://%s/healthz /readyz /metrics\n", addr)
 	}
 

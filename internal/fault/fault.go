@@ -57,6 +57,15 @@ const (
 	// KernelHang stretches one kernel iteration's runtime by
 	// Magnitude× — a stall the watchdog must notice, not a crash.
 	KernelHang
+	// NetDrop kills a fleet RPC outright: the request never reaches the
+	// peer and the caller sees a transport error (retries may succeed).
+	NetDrop
+	// NetDelay lets the RPC succeed but books Magnitude× the nominal
+	// round-trip latency against it — a slow link, not a dead one.
+	NetDelay
+	// NetCorrupt scrambles the RPC response body so decoding (or
+	// validation) fails — a proxy truncation or torn read.
+	NetCorrupt
 )
 
 // String names the kind.
@@ -78,6 +87,12 @@ func (k Kind) String() string {
 		return "counter-corrupt"
 	case KernelHang:
 		return "kernel-hang"
+	case NetDrop:
+		return "net-drop"
+	case NetDelay:
+		return "net-delay"
+	case NetCorrupt:
+		return "net-corrupt"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -95,6 +110,9 @@ const (
 	SiteCounter
 	// SiteKernel is kernel-iteration execution.
 	SiteKernel
+	// SiteNet is the fleet coordinator↔agent RPC path (report pulls,
+	// cap pushes, heartbeats).
+	SiteNet
 )
 
 // String names the site.
@@ -108,6 +126,8 @@ func (s Site) String() string {
 		return "counter"
 	case SiteKernel:
 		return "kernel"
+	case SiteNet:
+		return "net"
 	}
 	return fmt.Sprintf("Site(%d)", int(s))
 }

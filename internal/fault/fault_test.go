@@ -11,7 +11,8 @@ import (
 
 func TestKindAndSiteStrings(t *testing.T) {
 	kinds := []Kind{SensorDropout, SensorStuck, SensorSpike, SensorDrift,
-		PStateFail, PStateDelay, CounterCorrupt, KernelHang}
+		PStateFail, PStateDelay, CounterCorrupt, KernelHang,
+		NetDrop, NetDelay, NetCorrupt}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()
@@ -23,7 +24,7 @@ func TestKindAndSiteStrings(t *testing.T) {
 	if Kind(99).String() == "" || Site(99).String() == "" {
 		t.Error("unknown enum renders empty")
 	}
-	for _, s := range []Site{SiteSMU, SitePState, SiteCounter, SiteKernel} {
+	for _, s := range []Site{SiteSMU, SitePState, SiteCounter, SiteKernel, SiteNet} {
 		if s.String() == "" {
 			t.Errorf("site %d renders empty", int(s))
 		}

@@ -105,6 +105,15 @@ func Scenarios() []Scenario {
 			},
 		},
 		{
+			Name:        "net-flaky",
+			Description: "fleet RPCs intermittently dropped, delayed, or corrupted",
+			Rules: []Rule{
+				{Site: SiteNet, Kind: NetDrop, Prob: 0.20},
+				{Site: SiteNet, Kind: NetDelay, Prob: 0.10, Magnitude: 3},
+				{Site: SiteNet, Kind: NetCorrupt, Prob: 0.10, Magnitude: 8},
+			},
+		},
+		{
 			Name:        "blackout",
 			Description: "every seam degrades at once",
 			Rules: []Rule{

@@ -1,0 +1,53 @@
+package fleet
+
+import "acsel/internal/metrics"
+
+// Fleet instrumentation. Coordinator-side families cover the rebalance
+// loop end to end (round latency, per-node caps, membership churn, RPC
+// health); agent-side families cover what the node experiences (caps
+// applied or rejected, lost-coordinator orphaning).
+var (
+	// Coordinator.
+	mRebalanceSeconds = metrics.NewHistogram("acsel_fleet_rebalance_seconds",
+		"wall time of one full rebalance round (pulls, divide, pushes)", metrics.TimeBuckets)
+	mNodeCapWatts = metrics.NewGaugeVec("acsel_fleet_node_cap_watts",
+		"cap currently assigned to each member node", "node")
+	mAssignedWatts = metrics.NewGauge("acsel_fleet_assigned_watts",
+		"sum of caps currently assigned across the fleet")
+	mRounds = metrics.NewCounter("acsel_fleet_rounds_total",
+		"rebalance rounds completed")
+	mJoins = metrics.NewCounter("acsel_fleet_joins_total",
+		"members admitted (first heartbeat or rejoin after eviction)")
+	mHeartbeats = metrics.NewCounter("acsel_fleet_heartbeats_total",
+		"lease renewals accepted")
+	mEvictions = metrics.NewCounter("acsel_fleet_evictions_total",
+		"members evicted on lease expiry")
+	mPullFailures = metrics.NewCounter("acsel_fleet_pull_failures_total",
+		"report pulls that failed after all retries")
+	mPushes = metrics.NewCounter("acsel_fleet_cap_pushes_total",
+		"cap pushes acknowledged by agents")
+	mPushFailures = metrics.NewCounter("acsel_fleet_cap_push_failures_total",
+		"cap pushes that failed after all retries (node keeps its previous cap)")
+	mCheckpoints = metrics.NewCounter("acsel_fleet_checkpoints_total",
+		"assignment checkpoints appended to the journal")
+	mRestores = metrics.NewCounter("acsel_fleet_restores_total",
+		"coordinator restarts that resumed membership from a journal")
+
+	// RPC client (shared by coordinator pulls/pushes and agent heartbeats).
+	mRPCRetries = metrics.NewCounter("acsel_fleet_rpc_retries_total",
+		"RPC attempts beyond the first")
+	mInjectedDelaySeconds = metrics.NewHistogram("acsel_fleet_injected_delay_seconds",
+		"extra round-trip latency booked by injected net-delay faults", metrics.TimeBuckets)
+
+	// Agent.
+	mReportsServed = metrics.NewCounter("acsel_fleet_reports_served_total",
+		"report requests answered by this agent")
+	mCapsApplied = metrics.NewCounter("acsel_fleet_caps_applied_total",
+		"coordinator cap pushes this agent applied")
+	mCapsRejected = metrics.NewCounter("acsel_fleet_caps_rejected_total",
+		"cap pushes rejected (malformed or refused by the runtime)")
+	mHeartbeatFailures = metrics.NewCounter("acsel_fleet_heartbeat_failures_total",
+		"heartbeats that failed after all retries")
+	mOrphaned = metrics.NewCounter("acsel_fleet_orphaned_total",
+		"times this agent lost the coordinator and dropped to the floor cap")
+)

@@ -1,0 +1,180 @@
+package hierarchy
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"acsel/internal/fault"
+	"acsel/internal/power"
+)
+
+// synthView is a synthetic NodeView for divider property tests: a
+// hand-built demand figure and step utility curve, no runtime behind
+// it.
+type synthView struct {
+	name     string
+	demandW  float64
+	demandOK bool
+	bps      []float64
+	util     []float64
+}
+
+func (v synthView) NodeName() string         { return v.name }
+func (v synthView) DemandW() (float64, bool) { return v.demandW, v.demandOK }
+func (v synthView) Breakpoints() []float64   { return v.bps }
+func (v synthView) UtilityAt(c float64) float64 {
+	i := sort.SearchFloat64s(v.bps, c)
+	if i < len(v.bps) && v.bps[i] == c { //lint:ignore floatcmp step curve includes its breakpoints
+		return v.util[i]
+	}
+	if i == 0 {
+		return 0
+	}
+	return v.util[i-1]
+}
+
+// randomViews builds n synthetic nodes with sorted breakpoints and
+// non-decreasing utilities from a seeded stream.
+func randomViews(rng *rand.Rand, n int) []NodeView {
+	views := make([]NodeView, n)
+	for i := range views {
+		v := synthView{
+			name:     string(rune('a'+i)) + "-node",
+			demandW:  rng.Float64() * 40,
+			demandOK: rng.Intn(4) != 0,
+		}
+		u := 0.0
+		for bp := 5 + rng.Float64()*10; bp < 80 && rng.Intn(8) != 0; bp += 1 + rng.Float64()*12 {
+			u += rng.Float64() * 0.3
+			v.bps = append(v.bps, bp)
+			v.util = append(v.util, u)
+		}
+		views[i] = v
+	}
+	return views
+}
+
+// TestDivideProperties drives every divider over randomized synthetic
+// fleets and checks the two invariants the coordinator depends on:
+// caps sum to the budget within 1e-9, and every cap is at least
+// MinNodeCapW.
+func TestDivideProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		budget := MinNodeCapW*float64(n) + rng.Float64()*100
+		views := randomViews(rng, n)
+		for _, p := range []Policy{Uniform, DemandProportional, WaterFill} {
+			caps, err := Divide(p, views, budget)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, p, err)
+			}
+			if len(caps) != n {
+				t.Fatalf("trial %d %s: %d caps for %d nodes", trial, p, len(caps), n)
+			}
+			sum := 0.0
+			for i, c := range caps {
+				if c < MinNodeCapW-1e-9 {
+					t.Fatalf("trial %d %s: cap %d = %v below floor %v", trial, p, i, c, MinNodeCapW)
+				}
+				sum += c
+			}
+			if math.Abs(sum-budget) > 1e-9 {
+				t.Fatalf("trial %d %s: caps sum to %v, budget %v (diff %g)", trial, p, sum, budget, sum-budget)
+			}
+		}
+	}
+}
+
+// TestWaterFillOrderInvariant permutes the same fleet and checks the
+// water-fill division only depends on node identity, never on arrival
+// order — the coordinator sorts members by name, but the divider must
+// not require it.
+func TestWaterFillOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(6)
+		budget := MinNodeCapW*float64(n) + rng.Float64()*80
+		views := randomViews(rng, n)
+		base, err := Divide(WaterFill, views, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byName := map[string]float64{}
+		for i, v := range views {
+			byName[v.NodeName()] = base[i]
+		}
+		perm := rng.Perm(n)
+		shuffled := make([]NodeView, n)
+		for i, j := range perm {
+			shuffled[i] = views[j]
+		}
+		caps, err := Divide(WaterFill, shuffled, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range shuffled {
+			if caps[i] != byName[v.NodeName()] { //lint:ignore floatcmp identical inputs must produce bitwise-identical caps
+				t.Fatalf("trial %d: node %s got %v shuffled vs %v in order (perm %v)",
+					trial, v.NodeName(), caps[i], byName[v.NodeName()], perm)
+			}
+		}
+	}
+}
+
+// TestDemandSharesZeroTotal is the regression test for the divide-by-
+// zero bug: a fleet whose nodes all report 0 W demand used to produce
+// NaN caps (0/0) that SetCap rejects. It must fall back to uniform.
+func TestDemandSharesZeroTotal(t *testing.T) {
+	views := []NodeView{
+		synthView{name: "a", demandW: 0, demandOK: true},
+		synthView{name: "b", demandW: 0, demandOK: true},
+		synthView{name: "c", demandW: 0, demandOK: true},
+	}
+	budget := 48.0
+	caps, err := Divide(DemandProportional, views, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range caps {
+		if math.IsNaN(c) {
+			t.Fatalf("cap %d is NaN — the zero-demand guard regressed", i)
+		}
+		if math.Abs(c-budget/3) > 1e-9 {
+			t.Fatalf("cap %d = %v, want uniform %v", i, c, budget/3)
+		}
+	}
+}
+
+// TestClusterStepJoinsErrors injects a certain sensor dropout on every
+// node's SMU seam and checks Step reports every node's failure, not
+// just the first: concurrent multi-node failures used to collapse to
+// one arbitrary error.
+func TestClusterStepJoinsErrors(t *testing.T) {
+	c := twoNodeCluster(t, Uniform, 48)
+	inj := fault.NewInjector(fault.Scenario{
+		Name:  "certain-dropout",
+		Rules: []fault.Rule{{Site: fault.SiteSMU, Kind: fault.SensorDropout, Prob: 1}},
+	}, 1)
+	for _, n := range c.Nodes {
+		// Arm the profiler seam only: with the runtime's own ladder
+		// disarmed, a dropout is a hard error from RunKernel.
+		n.Runtime.Profiler().Faults = inj
+	}
+	_, err := c.Step()
+	if err == nil {
+		t.Fatal("Step succeeded under a certain sensor dropout")
+	}
+	if !errors.Is(err, power.ErrSensorDropout) {
+		t.Fatalf("joined error does not preserve the cause: %v", err)
+	}
+	for _, name := range []string{"n0", "n1"} {
+		if !strings.Contains(err.Error(), "node "+name+":") {
+			t.Fatalf("joined error dropped %s's failure:\n%v", name, err)
+		}
+	}
+}

@@ -51,6 +51,17 @@ func (p Policy) String() string {
 	return fmt.Sprintf("Policy(%d)", int(p))
 }
 
+// ParsePolicy resolves a policy by its String name — the flag syntax
+// of the cluster tools.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range []Policy{Uniform, DemandProportional, WaterFill} {
+		if s == p.String() {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("hierarchy: unknown policy %q (want uniform, demand-proportional, or water-fill)", s)
+}
+
 // Node is one machine in the cluster: an adaptive runtime executing an
 // application's kernels each timestep.
 type Node struct {
@@ -59,9 +70,9 @@ type Node struct {
 	App     []kernels.Kernel
 }
 
-// minNodeCapW is the smallest per-node budget the divider will assign —
+// MinNodeCapW is the smallest per-node budget the divider will assign —
 // roughly the machine's idle-plus-one-core floor.
-const minNodeCapW = 10.0
+const MinNodeCapW = 10.0
 
 // Cluster owns the nodes and the global budget.
 type Cluster struct {
@@ -83,9 +94,9 @@ func NewCluster(nodes []*Node, budgetW float64, p Policy) (*Cluster, error) {
 	if math.IsNaN(budgetW) || math.IsInf(budgetW, 0) {
 		return nil, fmt.Errorf("hierarchy: budget must be a finite wattage, got %v", budgetW)
 	}
-	if budgetW < minNodeCapW*float64(len(nodes)) {
+	if budgetW < MinNodeCapW*float64(len(nodes)) {
 		return nil, fmt.Errorf("hierarchy: budget %.1f W below floor %.1f W for %d nodes",
-			budgetW, minNodeCapW*float64(len(nodes)), len(nodes))
+			budgetW, MinNodeCapW*float64(len(nodes)), len(nodes))
 	}
 	for i, n := range nodes {
 		if n.Runtime == nil || len(n.App) == 0 {
@@ -95,19 +106,95 @@ func NewCluster(nodes []*Node, budgetW float64, p Policy) (*Cluster, error) {
 	return &Cluster{Nodes: nodes, BudgetW: budgetW, Policy: p}, nil
 }
 
+// NodeView is the read-only window a budget divider needs onto one
+// node. Local nodes (View) and the fleet layer's remote reports
+// implement it identically, so the same divider code runs in-process
+// and across node boundaries.
+type NodeView interface {
+	// NodeName identifies the node. Dividers use it as an
+	// order-independent tie-break, so names must be unique within one
+	// division.
+	NodeName() string
+	// DemandW reports the node's mean measured power over its recent
+	// window; ok is false before any measurement history exists.
+	DemandW() (demandW float64, ok bool)
+	// Breakpoints returns the sorted unique predicted power values at
+	// which the node's utility curve can jump.
+	Breakpoints() []float64
+	// UtilityAt evaluates the node's predicted weighted normalized
+	// performance at a given node cap. The curve is a step function
+	// that changes value only at Breakpoints.
+	UtilityAt(capW float64) float64
+}
+
+// localView adapts an in-process *Node to NodeView, with the utility
+// curve and breakpoints computed once at construction.
+type localView struct {
+	n     *Node
+	curve func(float64) float64
+	bps   []float64
+}
+
+// View builds the NodeView of an in-process node.
+func View(n *Node) NodeView {
+	return &localView{n: n, curve: nodeUtilityCurve(n), bps: nodeBreakpoints(n)}
+}
+
+func (v *localView) NodeName() string { return v.n.Name }
+
+func (v *localView) DemandW() (float64, bool) {
+	steps := v.n.Runtime.Steps()
+	window := len(v.n.App)
+	if window == 0 || len(steps) < window {
+		return 0, false
+	}
+	var sum float64
+	for _, s := range steps[len(steps)-window:] {
+		sum += s.PowerW
+	}
+	return sum / float64(window), true
+}
+
+func (v *localView) Breakpoints() []float64 { return v.bps }
+
+func (v *localView) UtilityAt(capW float64) float64 { return v.curve(capW) }
+
+// Divide computes per-node caps for the views under a policy and
+// budget, without applying them anywhere. Every policy returns caps
+// that sum to the budget exactly (within float tolerance) with each
+// cap at least MinNodeCapW.
+func Divide(p Policy, views []NodeView, budgetW float64) ([]float64, error) {
+	if len(views) == 0 {
+		return nil, ErrNoNodes
+	}
+	if math.IsNaN(budgetW) || math.IsInf(budgetW, 0) {
+		return nil, fmt.Errorf("hierarchy: budget must be a finite wattage, got %v", budgetW)
+	}
+	if budgetW < MinNodeCapW*float64(len(views)) {
+		return nil, fmt.Errorf("hierarchy: budget %.1f W below floor %.1f W for %d nodes",
+			budgetW, MinNodeCapW*float64(len(views)), len(views))
+	}
+	switch p {
+	case Uniform:
+		return uniformShares(len(views), budgetW), nil
+	case DemandProportional:
+		return demandShares(views, budgetW), nil
+	case WaterFill:
+		return waterFillShares(views, budgetW), nil
+	}
+	return nil, fmt.Errorf("hierarchy: unknown policy %d", int(p))
+}
+
 // Rebalance computes per-node caps under the policy and applies them.
 // It returns the assigned caps in node order.
 func (c *Cluster) Rebalance() ([]float64, error) {
-	var caps []float64
-	switch c.Policy {
-	case Uniform:
-		caps = c.uniformCaps()
-	case DemandProportional:
-		caps = c.demandCaps()
-	case WaterFill:
-		caps = c.waterFillCaps()
-	default:
-		return nil, fmt.Errorf("hierarchy: unknown policy %d", int(c.Policy))
+	views := make([]NodeView, len(c.Nodes))
+	for i, n := range c.Nodes {
+		views[i] = View(n)
+	}
+	caps, err := Divide(c.Policy, views, c.BudgetW)
+	if err != nil {
+		return nil, err
 	}
 	for i, n := range c.Nodes {
 		if err := n.Runtime.SetCap(caps[i]); err != nil {
@@ -117,79 +204,76 @@ func (c *Cluster) Rebalance() ([]float64, error) {
 	return caps, nil
 }
 
-func (c *Cluster) uniformCaps() []float64 {
-	n := len(c.Nodes)
+func uniformShares(n int, budgetW float64) []float64 {
 	caps := make([]float64, n)
 	for i := range caps {
-		caps[i] = c.BudgetW / float64(n)
+		caps[i] = budgetW / float64(n)
 	}
 	return caps
 }
 
-// demandCaps divides the budget proportionally to each node's mean
+// demandShares divides the budget proportionally to each node's mean
 // measured power over its most recent steps, with the floor respected.
-// Nodes without history fall back to a uniform share.
-func (c *Cluster) demandCaps() []float64 {
-	n := len(c.Nodes)
+// Nodes without history fall back to a uniform share. When the summed
+// demand is not positive — a cluster whose nodes all report 0 W, which
+// fault plans can produce — proportional division would yield NaN caps
+// that SetCap rejects, so the whole division falls back to uniform.
+func demandShares(views []NodeView, budgetW float64) []float64 {
+	n := len(views)
 	demand := make([]float64, n)
 	total := 0.0
-	for i, node := range c.Nodes {
-		steps := node.Runtime.Steps()
-		window := len(node.App)
-		if len(steps) < window || window == 0 {
-			demand[i] = c.BudgetW / float64(n)
-		} else {
-			var sum float64
-			for _, s := range steps[len(steps)-window:] {
-				sum += s.PowerW
-			}
-			demand[i] = sum / float64(window)
+	for i, v := range views {
+		w, ok := v.DemandW()
+		if !ok {
+			w = budgetW / float64(n)
 		}
-		total += demand[i]
+		demand[i] = w
+		total += w
+	}
+	if !(total > 0) {
+		return uniformShares(n, budgetW)
 	}
 	caps := make([]float64, n)
-	spare := c.BudgetW - minNodeCapW*float64(n)
+	spare := budgetW - MinNodeCapW*float64(n)
 	for i := range caps {
-		caps[i] = minNodeCapW + spare*demand[i]/total
+		caps[i] = MinNodeCapW + spare*demand[i]/total
 	}
 	return caps
 }
 
-// waterFillCaps builds each node's predicted utility curve — weighted
-// normalized performance achievable at a given node cap, from the
-// adapted kernels' cached predictions — and assigns the budget
-// greedily by gain density. The curves are step functions that jump
+// waterFillShares assigns the budget greedily by gain density over
+// each node's predicted utility curve — weighted normalized
+// performance achievable at a given node cap, from the adapted
+// kernels' cached predictions. The curves are step functions that jump
 // only where some configuration becomes affordable, so the allocator
 // works on those breakpoints: at each round it finds, per node, the
 // affordable breakpoint with the best predicted-gain-per-watt, and
 // funds the globally best one until nothing affordable improves.
-func (c *Cluster) waterFillCaps() []float64 {
-	n := len(c.Nodes)
-	curves := make([]func(capW float64) float64, n)
-	breakpoints := make([][]float64, n)
-	for i, node := range c.Nodes {
-		curves[i] = nodeUtilityCurve(node)
-		breakpoints[i] = nodeBreakpoints(node)
-	}
+// Density ties break on node name, so the division is invariant to the
+// order the views arrive in.
+func waterFillShares(views []NodeView, budgetW float64) []float64 {
+	n := len(views)
 	caps := make([]float64, n)
 	for i := range caps {
-		caps[i] = minNodeCapW
+		caps[i] = MinNodeCapW
 	}
-	remaining := c.BudgetW - minNodeCapW*float64(n)
+	remaining := budgetW - MinNodeCapW*float64(n)
 	for {
 		bestI, bestBP, bestDensity := -1, 0.0, 0.0
-		for i := range c.Nodes {
-			base := curves[i](caps[i])
-			for _, bp := range breakpoints[i] {
+		for i, v := range views {
+			base := v.UtilityAt(caps[i])
+			for _, bp := range v.Breakpoints() {
 				cost := bp - caps[i]
 				if cost <= 1e-9 || cost > remaining {
 					continue
 				}
-				gain := curves[i](bp) - base
+				gain := v.UtilityAt(bp) - base
 				if gain <= 0 {
 					continue
 				}
-				if d := gain / cost; d > bestDensity {
+				d := gain / cost
+				if d > bestDensity ||
+					(bestI >= 0 && bestI != i && d == bestDensity && v.NodeName() < views[bestI].NodeName()) { //lint:ignore floatcmp identical inputs yield identical densities; the tie-break keys on exact equality
 					bestI, bestBP, bestDensity = i, bp, d
 				}
 			}
@@ -317,7 +401,7 @@ func (c *Cluster) Step() ([]StepResult, error) {
 			for _, k := range node.App {
 				s, err := node.Runtime.RunKernel(k)
 				if err != nil {
-					errs[i] = err
+					errs[i] = fmt.Errorf("node %s: %w", node.Name, err)
 					return
 				}
 				r.TimeSec += s.TimeSec * k.TimeShare
@@ -330,10 +414,11 @@ func (c *Cluster) Step() ([]StepResult, error) {
 		}(i, node)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	// Nodes fail concurrently; reporting only the first non-nil error
+	// would silently drop every other node's failure. Join preserves
+	// them all (nil entries are skipped).
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return results, nil
 }

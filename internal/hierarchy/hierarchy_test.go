@@ -152,7 +152,7 @@ func TestDemandProportionalRespectsBudget(t *testing.T) {
 	}
 	sum := 0.0
 	for _, cp := range caps {
-		if cp < minNodeCapW-1e-9 {
+		if cp < MinNodeCapW-1e-9 {
 			t.Errorf("cap %v below floor", cp)
 		}
 		sum += cp
@@ -178,7 +178,7 @@ func TestWaterFillFavorsHungrierNode(t *testing.T) {
 	}
 	sum := 0.0
 	for _, cp := range caps {
-		if cp < minNodeCapW-1e-9 {
+		if cp < MinNodeCapW-1e-9 {
 			t.Errorf("cap %v below floor", cp)
 		}
 		sum += cp
@@ -339,7 +339,7 @@ func TestFourNodeClusterScales(t *testing.T) {
 	}
 	sum := 0.0
 	for _, cp := range caps {
-		if cp < minNodeCapW-1e-9 {
+		if cp < MinNodeCapW-1e-9 {
 			t.Errorf("cap %v below floor", cp)
 		}
 		sum += cp

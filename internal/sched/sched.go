@@ -110,9 +110,20 @@ type Runner struct {
 // ErrNeedModel is returned when a model-based method runs without one.
 var ErrNeedModel = errors.New("sched: method requires a trained model")
 
+// ErrEmptySpace is returned when a policy runs over an empty
+// configuration space. Every policy ultimately indexes
+// Space.Configs[id] with its chosen ID; with no configurations there
+// is no valid ID (Oracle's fallback stays -1, the FL baselines' IDOf
+// misses), so without this guard Decide would panic instead of
+// erroring.
+var ErrEmptySpace = errors.New("sched: empty configuration space")
+
 // Decide runs one policy for a kernel (true behaviour via truth; sample
 // runs for the model-based policies) under a power cap.
 func (r *Runner) Decide(m Method, truth Truth, sr core.SampleRuns, capW float64) (Decision, error) {
+	if r.Space == nil || r.Space.Len() == 0 {
+		return Decision{}, fmt.Errorf("%w: cannot run %s", ErrEmptySpace, m)
+	}
 	switch m {
 	case MethodOracle:
 		return r.Oracle(truth, capW), nil
