@@ -3,16 +3,16 @@ GO ?= go
 # Packages exercised under the race detector: the concurrency-heavy
 # runtime, scheduler, profiler, and cluster-hierarchy layers, plus the
 # lock-free metrics registry.
-RACE_PKGS = ./internal/rts ./internal/sched ./internal/profiler ./internal/hierarchy ./internal/metrics ./internal/supervise ./internal/checkpoint ./internal/fleet
+RACE_PKGS = ./internal/rts ./internal/sched ./internal/profiler ./internal/hierarchy ./internal/metrics ./internal/supervise ./internal/checkpoint ./internal/fleet ./internal/query ./internal/query/loadgen
 
 # Packages with fault-injection (chaos) suites, run under -race: the
 # deterministic fault scenarios exercise the retry/quarantine/ladder
 # paths that clean tests never reach.
 CHAOS_PKGS = ./internal/rts ./internal/sched ./internal/power ./internal/fault ./internal/fleet
 
-.PHONY: all build vet lint lint-sarif lint-fix-check test test-race test-chaos test-crash test-fleet metrics-check fmt-check bench repro csv fuzz fuzz-smoke clean
+.PHONY: all build vet lint lint-sarif lint-fix-check test test-race test-chaos test-crash test-fleet test-query metrics-check fmt-check bench repro csv fuzz fuzz-smoke clean
 
-all: build vet lint lint-fix-check test test-race test-chaos test-crash test-fleet metrics-check
+all: build vet lint lint-fix-check test test-race test-chaos test-crash test-fleet test-query metrics-check
 
 # Where the cached lint results live (content-addressed; safe to share
 # across branches and restore in CI).
@@ -88,6 +88,19 @@ test-fleet:
 	$(GO) test -count=1 -v -run 'TestFleet' ./cmd/acsel-fleet
 	$(GO) test -count=1 ./internal/fleet
 
+# Selection-service soak under the race detector: a seeded closed-loop
+# load generator (8 clients, 30k queries; 10k with QUERY_SHORT=1, which
+# CI sets) drives an undersized service through two hot reloads and an
+# injected slow-shard fault; every response is checked bitwise against
+# a single-threaded oracle, and admission control must shed without any
+# request outliving its deadline. The run's latency/shed summary is
+# written to $(QUERY_SUMMARY) (CI uploads it as a build artifact).
+QUERY_SUMMARY ?= query-summary.json
+test-query:
+	ACSEL_QUERY_SUMMARY=$(abspath $(QUERY_SUMMARY)) $(GO) test -race -count=1 -v \
+		$(if $(QUERY_SHORT),-short,) \
+		-run 'TestSoakSelectionService|TestStressHotReloadRace' ./internal/query
+
 # End-to-end observability smoke test: a one-iteration bench run must
 # produce a JSON snapshot carrying every instrumented subsystem's
 # families (rts registers via acsel-bench's blank import, at zero).
@@ -120,12 +133,14 @@ fuzz:
 	$(GO) test -fuzz FuzzPreprocess -fuzztime 30s ./internal/pragma
 
 # CI-sized fuzz pass: 10 seconds per target across every fuzzed package
-# (rank correlation, frontier shared order, pragma preprocessing).
+# (rank correlation, frontier shared order, pragma preprocessing,
+# checkpoint decoding, select-request wire decoding).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzKendallTauRanks -fuzztime 10s ./internal/stats
 	$(GO) test -run '^$$' -fuzz FuzzSharedOrder -fuzztime 10s ./internal/pareto
 	$(GO) test -run '^$$' -fuzz FuzzPreprocess -fuzztime 10s ./internal/pragma
 	$(GO) test -run '^$$' -fuzz FuzzCheckpointDecode -fuzztime 10s ./internal/checkpoint
+	$(GO) test -run '^$$' -fuzz FuzzSelectRequestDecode -fuzztime 10s ./internal/query
 
 clean:
-	rm -rf out/ model.json profiles.json lint.sarif $(LINT_CACHE)
+	rm -rf out/ model.json profiles.json lint.sarif query-summary.json $(LINT_CACHE)

@@ -4,13 +4,19 @@
 // cluster, prints the predicted Pareto frontier, and selects the
 // configuration predicted to maximize performance under a power cap.
 //
+// With -remote it asks a running acsel-serve selection service instead
+// of loading a model locally; the selection semantics — including the
+// typed infeasible-cap error — are identical on both paths.
+//
 // Usage:
 //
 //	acsel-predict -model model.json -kernel LULESH/Small/CalcQForElems -cap 22
 //	acsel-predict -model model.json -kernel LU/Large/lud -cap 30 -z 1.5
+//	acsel-predict -remote http://127.0.0.1:9090 -kernel LU/Small/lud -cap 22
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +25,7 @@ import (
 	"acsel/internal/core"
 	"acsel/internal/kernels"
 	"acsel/internal/profiler"
+	"acsel/internal/query"
 )
 
 func main() {
@@ -27,9 +34,10 @@ func main() {
 	capW := flag.Float64("cap", 25, "power cap in watts")
 	z := flag.Float64("z", 0, "variance-aware margin (0 disables; §VI extension)")
 	showFrontier := flag.Bool("frontier", true, "print the predicted Pareto frontier")
+	remote := flag.String("remote", "", "query a running selection service at this base URL instead of loading -model")
 	flag.Parse()
 
-	if err := run(*modelPath, *kernelID, *capW, *z, *showFrontier); err != nil {
+	if err := run(*modelPath, *kernelID, *capW, *z, *showFrontier, *remote); err != nil {
 		fmt.Fprintln(os.Stderr, "acsel-predict:", err)
 		os.Exit(1)
 	}
@@ -47,13 +55,16 @@ func findKernel(id string) (kernels.Kernel, error) {
 		id, "LULESH/Small/CalcQForElems")
 }
 
-func run(modelPath, kernelID string, capW, z float64, showFrontier bool) error {
+func run(modelPath, kernelID string, capW, z float64, showFrontier bool, remote string) error {
 	if kernelID == "" {
 		return fmt.Errorf("missing -kernel")
 	}
 	k, err := findKernel(kernelID)
 	if err != nil {
 		return err
+	}
+	if remote != "" {
+		return runRemote(remote, k, capW, z)
 	}
 	f, err := os.Open(modelPath)
 	if err != nil {
@@ -106,6 +117,12 @@ func run(modelPath, kernelID string, capW, z float64, showFrontier bool) error {
 	if err != nil {
 		return err
 	}
+	if !sel.MeetsCapPredicted {
+		// The fallback selection is the minimum-predicted-power config,
+		// so its predicted power is the model's feasibility floor.
+		return fmt.Errorf("%w: cap %.1f W < minimum feasible %.1f W for %s",
+			core.ErrCapInfeasible, capW, sel.Predicted.PowerW, kernelID)
+	}
 	fmt.Printf("selection under %.1f W: %v\n", capW, sel.Config)
 	fmt.Printf("  predicted: %.2f /s at %.1f W (meets cap: %v)\n",
 		sel.Predicted.Perf, sel.Predicted.PowerW, sel.MeetsCapPredicted)
@@ -117,4 +134,41 @@ func run(modelPath, kernelID string, capW, z float64, showFrontier bool) error {
 	}
 	fmt.Printf("  measured:  %.2f /s at %.1f W\n", final.Perf(), final.TotalPowerW())
 	return nil
+}
+
+// runRemote asks a selection service for the same decision. The service
+// precomputed this kernel's sample runs from the identical deterministic
+// online stage, so local and remote selections agree bitwise.
+func runRemote(baseURL string, k kernels.Kernel, capW, z float64) error {
+	c := &query.Client{BaseURL: baseURL}
+	resp, err := c.Select(context.Background(), query.Request{Kernel: k.ID(), CapW: capW, Z: z})
+	if err != nil {
+		return err
+	}
+	sel := resp.Selection
+	if !sel.MeetsCapPredicted {
+		return fmt.Errorf("%w: cap %.1f W < minimum feasible %.1f W for %s (model %s)",
+			core.ErrCapInfeasible, capW, resp.MinPowerW, k.ID(), shortHash(resp.ModelHash))
+	}
+	fmt.Printf("kernel %s -> cluster %d (model %s seq %d, effective cap %.4f W)\n",
+		k.ID(), sel.Cluster, shortHash(resp.ModelHash), resp.ModelSeq, resp.EffectiveCapW)
+	fmt.Printf("selection under %.1f W: %v\n", capW, sel.Config)
+	fmt.Printf("  predicted: %.2f /s at %.1f W (meets cap: %v)\n",
+		sel.Predicted.Perf, sel.Predicted.PowerW, sel.MeetsCapPredicted)
+
+	// Validate against the local machine: run the chosen configuration
+	// once, exactly as the local path does.
+	final, err := profiler.New().RunConfig(k, sel.Config, 2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  measured:  %.2f /s at %.1f W\n", final.Perf(), final.TotalPowerW())
+	return nil
+}
+
+func shortHash(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
 }

@@ -51,6 +51,10 @@ func main() {
 	flag.IntVar(&cfg.TrainIterations, "train-iterations", 0, "profiling iterations per configuration during training (0 = paper default)")
 	flag.StringVar(&cfg.ModelCache, "model-cache", "", "optional directory for the content-addressed trained-model cache")
 	flag.IntVar(&cfg.MaxRestarts, "max-restarts", 5, "consecutive worker restarts before giving up (0 = unlimited)")
+	flag.BoolVar(&cfg.Query, "query", false, "serve the selection query API (POST /v1/select, /v1/select/batch, GET+POST /v1/models) on -addr")
+	flag.IntVar(&cfg.QueryWorkers, "query-workers", 0, "selection query worker pool size (0 = default)")
+	flag.IntVar(&cfg.QueryQueue, "query-queue", 0, "selection query queue depth before admission control sheds (0 = default)")
+	flag.IntVar(&cfg.QueryCache, "query-cache", 0, "selection LRU cache entries (0 = default, negative disables)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -86,4 +90,8 @@ type config struct {
 	TrainIterations int
 	ModelCache      string
 	MaxRestarts     int
+	Query           bool
+	QueryWorkers    int
+	QueryQueue      int
+	QueryCache      int
 }

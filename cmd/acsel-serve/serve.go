@@ -19,6 +19,7 @@ import (
 	"acsel/internal/kernels"
 	"acsel/internal/metrics"
 	"acsel/internal/profiler"
+	"acsel/internal/query"
 	"acsel/internal/rts"
 	"acsel/internal/supervise"
 )
@@ -167,8 +168,26 @@ func run(ctx context.Context, cfg config, stderr io.Writer) error {
 	if cfg.Fleet != "" && cfg.Addr == "" {
 		return errors.New("-fleet requires -addr (the coordinator calls the agent back)")
 	}
+	if cfg.Query && cfg.Addr == "" {
+		return errors.New("-query requires -addr (the selection API is served over HTTP)")
+	}
 	if cfg.Addr != "" {
 		mux := metrics.Default.NewMux()
+		if cfg.Query {
+			qs, qerr := query.NewService(model, query.Options{
+				Workers:    cfg.QueryWorkers,
+				QueueDepth: cfg.QueryQueue,
+				CacheSize:  cfg.QueryCache,
+				Faults:     inj,
+			})
+			if qerr != nil {
+				return qerr
+			}
+			defer qs.Close()
+			query.Register(mux, qs)
+			fmt.Fprintf(stderr, "selection query API: POST %s, POST %s, GET/POST %s\n",
+				query.PathSelect, query.PathSelectBatch, query.PathModels)
+		}
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 			fmt.Fprintln(w, "ok")
 		})

@@ -73,6 +73,15 @@ type Prediction struct {
 // ErrNoModel is returned when the model lacks a required component.
 var ErrNoModel = errors.New("core: model component missing")
 
+// ErrCapInfeasible marks a power cap below the model's minimum feasible
+// predicted power: no configuration is predicted to fit, so a selection
+// can only be the minimum-power fallback. SelectUnderCap itself still
+// returns that fallback (the runtime's degradation ladder wants it);
+// callers that treat an unsatisfiable cap as a hard failure — the
+// acsel-predict CLI, the query service's remote clients — wrap this
+// sentinel so the condition stays testable across process boundaries.
+var ErrCapInfeasible = errors.New("core: power cap below minimum feasible predicted power")
+
 // Classify assigns a new kernel to a cluster from its sample runs.
 // Its cost is O(tree depth), matching §IV-C.
 func (m *Model) Classify(sr SampleRuns) (int, error) {
@@ -194,6 +203,19 @@ func (m *Model) selectUnderCap(sr SampleRuns, capW, z float64) (Selection, error
 	if err != nil {
 		return Selection{}, err
 	}
+	return SelectAmong(preds, c, capW, z)
+}
+
+// SelectAmong runs the cap-selection sweep over already-computed
+// predictions (as produced by PredictAll: indexed by configuration ID)
+// without copying them. It is the single selection loop behind
+// SelectUnderCap, the batch paths, and the query service's per-kernel
+// prediction cache, so every path yields bitwise-identical Selections
+// by construction.
+func SelectAmong(preds []Prediction, cluster int, capW, z float64) (Selection, error) {
+	if len(preds) == 0 {
+		return Selection{}, fmt.Errorf("%w: no predictions", ErrNoModel)
+	}
 	bestID, fallbackID := -1, -1
 	bestPerf := math.Inf(-1)
 	minPow := math.Inf(1)
@@ -208,16 +230,31 @@ func (m *Model) selectUnderCap(sr SampleRuns, capW, z float64) (Selection, error
 			fallbackID = p.ConfigID
 		}
 	}
-	sel := Selection{Cluster: c}
+	sel := Selection{Cluster: cluster}
 	if bestID >= 0 {
 		sel.ConfigID = bestID
 		sel.MeetsCapPredicted = true
 	} else {
 		sel.ConfigID = fallbackID
 	}
-	sel.Config = m.Space.Configs[sel.ConfigID]
+	if sel.ConfigID < 0 || sel.ConfigID >= len(preds) {
+		return Selection{}, fmt.Errorf("%w: prediction index %d of %d", ErrNoModel, sel.ConfigID, len(preds))
+	}
+	sel.Config = preds[sel.ConfigID].Config
 	sel.Predicted = preds[sel.ConfigID]
 	return sel, nil
+}
+
+// MinPredictedPowerW returns the minimum predicted package power across
+// predictions — the feasibility floor a cap is measured against.
+func MinPredictedPowerW(preds []Prediction) float64 {
+	minPow := math.Inf(1)
+	for _, p := range preds {
+		if p.PowerW < minPow {
+			minPow = p.PowerW
+		}
+	}
+	return minPow
 }
 
 // RenderTree returns the classification tree in the indented format of

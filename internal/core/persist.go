@@ -126,6 +126,22 @@ func Load(r io.Reader) (*Model, error) {
 	return m, nil
 }
 
+// Hash returns the model's content address: a SHA-256 over its Save
+// serialization (encoding/json emits map keys sorted, so the bytes —
+// and therefore the hash — are deterministic for a given model). Two
+// models predict identically if and only if their serializations
+// match, which makes this hash the correct invalidation key for any
+// cache of predictions or selections: the query service stamps every
+// response with it and purges cached selections whose hash no longer
+// matches the live model after a hot reload.
+func (m *Model) Hash() (string, error) {
+	h := sha256.New()
+	if err := m.Save(h); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
+}
+
 // cacheKeyVersion guards the hash layout of ModelCacheKey: bump it
 // whenever the hashed fields or their encoding change, so stale cache
 // entries miss instead of colliding.

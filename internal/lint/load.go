@@ -220,12 +220,27 @@ func (l *loader) loadDir(dir string) ([]unit, error) {
 	}
 	sort.Strings(names)
 
+	// The in-package variants (checked first: sort puts "foo" before
+	// "foo_test") include in-package _test.go files, so an external
+	// _test package importing its own directory must resolve to that
+	// augmented variant — that is how export_test.go bridges become
+	// visible, exactly as the go tool compiles them. While the
+	// external package is being checked, the augmented variant is
+	// pinned into the import cache so the whole closure (including
+	// module siblings that themselves import the package under test)
+	// shares one identity for its types; every cache entry the pinned
+	// check creates is evicted afterwards, because those siblings were
+	// checked against the augmented variant and must be re-resolved
+	// against the plain one for any later importer.
+	checked := make(map[string]*types.Package)
 	var units []unit
 	for _, name := range names {
 		group := byName[name]
 		path := importPath
-		if strings.HasSuffix(name, "_test") {
+		var aug *types.Package
+		if base, ok := strings.CutSuffix(name, "_test"); ok {
 			path += "_test"
+			aug = checked[base]
 		}
 		info := &types.Info{
 			Types:      make(map[ast.Expr]types.TypeAndValue),
@@ -233,14 +248,75 @@ func (l *loader) loadDir(dir string) ([]unit, error) {
 			Uses:       make(map[*ast.Ident]types.Object),
 			Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		}
+		var stash map[string]*types.Package
+		var before map[string]bool
+		if aug != nil {
+			// Pin the augmented variant, and stash every cached
+			// package whose transitive imports reach it: those were
+			// checked against the plain variant and would clash with
+			// the augmented one's type identities, so the pinned check
+			// re-resolves them (against aug), mirroring how the go
+			// tool recompiles the dependent closure for a test binary.
+			stash = map[string]*types.Package{importPath: nil}
+			if prev, ok := l.pkgs[importPath]; ok {
+				stash[importPath] = prev
+			}
+			for p, cached := range l.pkgs {
+				if p != importPath && dependsOn(cached, importPath) {
+					stash[p] = cached
+				}
+			}
+			for p := range stash {
+				delete(l.pkgs, p)
+			}
+			before = make(map[string]bool, len(l.pkgs))
+			for p := range l.pkgs {
+				before[p] = true
+			}
+			l.pkgs[importPath] = aug
+		}
 		conf := types.Config{Importer: l}
 		pkg, err := conf.Check(path, l.fset, group, info)
+		if aug != nil {
+			// Evict everything the pinned check resolved, then put the
+			// plain pre-check entries back.
+			for p := range l.pkgs {
+				if !before[p] {
+					delete(l.pkgs, p)
+				}
+			}
+			for p, cached := range stash {
+				if cached != nil {
+					l.pkgs[p] = cached
+				}
+			}
+		}
 		if err != nil {
 			return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
 		}
+		checked[name] = pkg
 		units = append(units, unit{files: group, pkg: pkg, info: info})
 	}
 	return units, nil
+}
+
+// dependsOn reports whether pkg transitively imports target.
+func dependsOn(pkg *types.Package, target string) bool {
+	seen := make(map[*types.Package]bool)
+	var walk func(p *types.Package) bool
+	walk = func(p *types.Package) bool {
+		if seen[p] {
+			return false
+		}
+		seen[p] = true
+		for _, imp := range p.Imports() {
+			if imp.Path() == target || walk(imp) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(pkg)
 }
 
 func (l *loader) importPathFor(dir string) string {

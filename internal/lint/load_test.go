@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestRunExternalTestPackageSeesExportBridge pins the go tool's test
+// compilation model: an external foo_test package resolves its import
+// of foo to the in-package test variant, so export_test.go bridges are
+// visible — including through a module sibling that itself imports the
+// package under test (whose types must share one identity with the
+// direct import).
+func TestRunExternalTestPackageSeesExportBridge(t *testing.T) {
+	root := fixtureModule(t, map[string]string{
+		"svc/svc.go": `package svc
+
+type Service struct{ n int }
+
+func (s *Service) bump() { s.n++ }
+`,
+		"svc/export_test.go": `package svc
+
+// Bump is the test-only bridge to the unexported method.
+func (s *Service) Bump() { s.bump() }
+`,
+		// The external test uses the bridge directly AND hands a
+		// *svc.Service to the driver sibling: both must see the same
+		// svc package or the call does not type-check.
+		"svc/svc_x_test.go": `package svc_test
+
+import (
+	"testing"
+
+	"sandbox/driver"
+	"sandbox/svc"
+)
+
+func TestBridge(t *testing.T) {
+	s := &svc.Service{}
+	s.Bump()
+	driver.Drive(s)
+}
+`,
+		"driver/driver.go": `package driver
+
+import "sandbox/svc"
+
+func Drive(s *svc.Service) {}
+`,
+		// A third package importing both siblings: after svc's pinned
+		// external-test check, driver and svc must re-resolve to their
+		// plain variants with consistent identities.
+		"app/app.go": `package app
+
+import (
+	"sandbox/driver"
+	"sandbox/svc"
+)
+
+func Use() { driver.Drive(&svc.Service{}) }
+`,
+	})
+	if _, err := Run(root, nil, All()); err != nil {
+		t.Fatalf("Run over export_test module: %v", err)
+	}
+}
+
+// TestRunExternalTestBridgeStaysOutOfPlainImports asserts the inverse:
+// the augmented variant must not leak into the cache — a package that
+// imports svc normally cannot see the test-only bridge.
+func TestRunExternalTestBridgeStaysOutOfPlainImports(t *testing.T) {
+	root := fixtureModule(t, map[string]string{
+		"svc/svc.go": `package svc
+
+type Service struct{ n int }
+
+func (s *Service) bump() { s.n++ }
+`,
+		"svc/export_test.go": `package svc
+
+func (s *Service) Bump() { s.bump() }
+`,
+		"svc/svc_x_test.go": `package svc_test
+
+import (
+	"testing"
+
+	"sandbox/svc"
+)
+
+func TestBridge(t *testing.T) { (&svc.Service{}).Bump() }
+`,
+		// zapp sorts after svc, so it is loaded after the pinned
+		// check; Bump must be undefined for it.
+		"zapp/app.go": `package zapp
+
+import "sandbox/svc"
+
+func Use() { (&svc.Service{}).Bump() }
+`,
+	})
+	if _, err := Run(root, nil, All()); err == nil {
+		t.Fatal("plain import saw the export_test bridge")
+	}
+}

@@ -183,6 +183,42 @@ func (h *Histogram) Time() func() {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts
+// by linear interpolation within the containing bucket, the standard
+// fixed-bucket estimator. Values in the trailing +Inf bucket clamp to
+// the last finite bound (the histogram cannot resolve beyond it).
+// Returns NaN for an empty histogram or non-finite q.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	lower := 0.0
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c > 0 && float64(cum)+float64(c) >= rank {
+			if i >= len(h.upper) {
+				return lower
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lower + (h.upper[i]-lower)*frac
+		}
+		cum += c
+		if i < len(h.upper) {
+			lower = h.upper[i]
+		}
+	}
+	return lower
+}
+
 // Sum returns the sum of observations.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 

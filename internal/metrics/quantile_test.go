@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("acsel_test_quantile_seconds", "quantile fixture", LinearBuckets(1, 1, 10))
+
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram should estimate NaN")
+	}
+
+	// 100 observations uniform over (0.5, 1.5, ..., 9.5]: one per bucket
+	// decile. The interpolated quantiles land on bucket boundaries.
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i)/10 + 0.05)
+	}
+	cases := []struct{ q, lo, hi float64 }{
+		{0, 0, 1},
+		{0.25, 2, 3},
+		{0.5, 4, 6},
+		{0.95, 9, 10},
+		{1, 9, 10},
+	}
+	for _, c := range cases {
+		got := h.Quantile(c.q)
+		if got < c.lo || got > c.hi {
+			t.Errorf("Quantile(%v) = %v, want within [%v, %v]", c.q, got, c.lo, c.hi)
+		}
+	}
+	// Monotone in q.
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+	// Out-of-range q clamps instead of exploding.
+	if v := h.Quantile(-3); v < 0 || v > 1 {
+		t.Errorf("Quantile(-3) = %v", v)
+	}
+	if v := h.Quantile(7); v < 9 || v > 10 {
+		t.Errorf("Quantile(7) = %v", v)
+	}
+	if !math.IsNaN(h.Quantile(math.NaN())) {
+		t.Error("Quantile(NaN) should be NaN")
+	}
+
+	// Values beyond the last finite bound clamp to it.
+	h2 := reg.NewHistogram("acsel_test_overflow_seconds", "overflow fixture", LinearBuckets(1, 1, 3))
+	h2.Observe(50)
+	h2.Observe(60)
+	if v := h2.Quantile(0.99); v != 3 {
+		t.Errorf("overflow quantile = %v, want clamp to 3", v)
+	}
+}

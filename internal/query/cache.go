@@ -1,0 +1,87 @@
+package query
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a fixed-capacity LRU of computed Responses keyed by
+// (model hash, kernel, quantized cap bits, z bits). Entries are
+// content-addressed through the model hash: a hot reload to a model
+// with different bytes changes the hash, so stale entries can never be
+// returned — purgeExcept merely reclaims their memory eagerly.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	hash string // model hash the entry was computed under
+	resp Response
+}
+
+// newLRUCache returns a cache holding up to max entries; max <= 0
+// disables caching (every get misses, every put is dropped).
+func newLRUCache(max int) *lruCache {
+	return &lruCache{max: max, order: list.New(), items: map[string]*list.Element{}}
+}
+
+func (c *lruCache) get(key string) (Response, bool) {
+	if c.max <= 0 {
+		return Response{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return Response{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).resp, true
+}
+
+func (c *lruCache) put(key, hash string, resp Response) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).resp = resp
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, hash: hash, resp: resp})
+	for c.order.Len() > c.max {
+		back := c.order.Back()
+		delete(c.items, back.Value.(*cacheEntry).key)
+		c.order.Remove(back)
+	}
+}
+
+// purgeExcept drops every entry computed under a model hash other than
+// keep, returning how many were removed.
+func (c *lruCache) purgeExcept(keep string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var purged int
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*cacheEntry); e.hash != keep {
+			delete(c.items, e.key)
+			c.order.Remove(el)
+			purged++
+		}
+		el = next
+	}
+	return purged
+}
+
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,140 @@
+package query
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client speaks the selection API over HTTP/JSON. Remote errors carry
+// their wire code, so errors.Is(err, ErrOverloaded) (and the rest of
+// the taxonomy) behaves identically to the in-process Service — the
+// load generator and acsel-predict -remote rely on that symmetry.
+// The zero value is not usable; BaseURL is required.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:9090".
+	BaseURL string
+	// HTTP is the underlying client (http.DefaultClient if nil).
+	HTTP *http.Client
+	// Timeout bounds each call in addition to the caller's context
+	// (default 5s).
+	Timeout time.Duration
+}
+
+// Select answers one query remotely.
+func (c *Client) Select(ctx context.Context, req Request) (Response, error) {
+	var resp Response
+	if err := c.call(ctx, http.MethodPost, PathSelect, req, &resp); err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}
+
+// SelectBatch answers a batch remotely. Results and errors are parallel
+// to reqs, mirroring Service.SelectBatch.
+func (c *Client) SelectBatch(ctx context.Context, reqs []Request) ([]Response, []error, error) {
+	var out BatchResponse
+	if err := c.call(ctx, http.MethodPost, PathSelectBatch, BatchRequest{Requests: reqs}, &out); err != nil {
+		return nil, nil, err
+	}
+	if len(out.Results) != len(reqs) {
+		return nil, nil, fmt.Errorf("query: batch answered %d of %d items", len(out.Results), len(reqs))
+	}
+	resps := make([]Response, len(reqs))
+	errs := make([]error, len(reqs))
+	for i, item := range out.Results {
+		switch {
+		case item.Error != "":
+			errs[i] = errFromCode(item.Code, item.Error)
+		case item.Response != nil:
+			resps[i] = *item.Response
+		default:
+			errs[i] = fmt.Errorf("query: batch item %d carries neither response nor error", i)
+		}
+	}
+	return resps, errs, nil
+}
+
+// Models reports the server's live model generation.
+func (c *Client) Models(ctx context.Context) (ModelsInfo, error) {
+	var info ModelsInfo
+	if err := c.call(ctx, http.MethodGet, PathModels, nil, &info); err != nil {
+		return ModelsInfo{}, err
+	}
+	return info, nil
+}
+
+// Reload asks the server to hot-load the model file at path (a path on
+// the server's filesystem) and returns the new generation.
+func (c *Client) Reload(ctx context.Context, path string) (ModelsInfo, error) {
+	var info ModelsInfo
+	if err := c.call(ctx, http.MethodPost, PathModels, ReloadRequest{Path: path}, &info); err != nil {
+		return ModelsInfo{}, err
+	}
+	return info, nil
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout <= 0 {
+		return 5 * time.Second
+	}
+	return c.Timeout
+}
+
+// call runs one JSON round trip and surfaces wire errors as typed ones.
+func (c *Client) call(ctx context.Context, method, path string, body, out any) error {
+	actx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("query: encode %s %s: %w", method, path, err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return fmt.Errorf("query: %s %s: %w", method, path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("query: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return fmt.Errorf("query: %s %s: read body: %w", method, path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		if jerr := json.Unmarshal(data, &eb); jerr == nil && eb.Code != "" {
+			return errFromCode(eb.Code, eb.Error)
+		}
+		return fmt.Errorf("query: %s %s: %s: %s", method, path, resp.Status, truncate(data, 200))
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("query: %s %s: decode response: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		b = b[:n]
+	}
+	return string(b)
+}

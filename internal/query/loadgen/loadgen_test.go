@@ -1,0 +1,211 @@
+package loadgen_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"acsel/internal/query"
+	"acsel/internal/query/loadgen"
+)
+
+// fakeDriver answers deterministically from the request itself and can
+// inject typed failures per kernel.
+type fakeDriver struct {
+	mu   sync.Mutex
+	seen []query.Request
+	// shedEvery sheds every Nth request (0 disables).
+	shedEvery int
+	calls     int
+}
+
+func (d *fakeDriver) Select(_ context.Context, req query.Request) (query.Response, error) {
+	d.mu.Lock()
+	d.seen = append(d.seen, req)
+	d.calls++
+	n := d.calls
+	d.mu.Unlock()
+	if d.shedEvery > 0 && n%d.shedEvery == 0 {
+		return query.Response{}, query.ErrOverloaded
+	}
+	return query.Response{
+		Kernel:        req.Kernel,
+		CapW:          req.CapW,
+		EffectiveCapW: req.CapW,
+		Z:             req.Z,
+		ModelHash:     "gen-" + req.Kernel,
+		Cached:        req.Z > 0,
+	}, nil
+}
+
+func (d *fakeDriver) requests() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, len(d.seen))
+	for i, r := range d.seen {
+		out[i] = fmt.Sprintf("%s|%v|%v", r.Kernel, r.CapW, r.Z)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func baseConfig() loadgen.Config {
+	return loadgen.Config{
+		Workers:  4,
+		Requests: 500,
+		Seed:     7,
+		Kernels:  []string{"k1", "k2", "k3"},
+		CapsW:    []float64{10, 20, 30},
+		Zs:       []float64{0, 1.5},
+	}
+}
+
+// TestRunDeterministicWorkload: two runs with the same seed issue the
+// identical request multiset, regardless of goroutine interleaving.
+func TestRunDeterministicWorkload(t *testing.T) {
+	d1, d2 := &fakeDriver{}, &fakeDriver{}
+	ctx := context.Background()
+	s1, err := loadgen.Run(ctx, d1, baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := loadgen.Run(ctx, d2, baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := d1.requests(), d2.requests()
+	if len(r1) != 500 || len(r2) != 500 {
+		t.Fatalf("request counts: %d, %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("request multiset diverges at %d: %q vs %q", i, r1[i], r2[i])
+		}
+	}
+	if s1.OK != s2.OK || s1.Requests != s2.Requests {
+		t.Fatalf("summaries diverge: %+v vs %+v", s1, s2)
+	}
+	// A different seed produces a different workload.
+	d3 := &fakeDriver{}
+	cfg := baseConfig()
+	cfg.Seed = 8
+	if _, err := loadgen.Run(ctx, d3, cfg); err != nil {
+		t.Fatal(err)
+	}
+	r3 := d3.requests()
+	same := true
+	for i := range r1 {
+		if r1[i] != r3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical workloads")
+	}
+}
+
+func TestRunCountsOutcomes(t *testing.T) {
+	d := &fakeDriver{shedEvery: 5}
+	cfg := baseConfig()
+	var mu sync.Mutex
+	verified := 0
+	last := 0
+	cfg.Verify = func(req query.Request, resp query.Response) error {
+		mu.Lock()
+		verified++
+		mu.Unlock()
+		if resp.Kernel != req.Kernel {
+			return fmt.Errorf("wrong kernel")
+		}
+		return nil
+	}
+	cfg.OnResult = func(done int) {
+		mu.Lock()
+		if done > last {
+			last = done
+		}
+		mu.Unlock()
+	}
+	sum, err := loadgen.Run(context.Background(), d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Requests != 500 {
+		t.Fatalf("requests %d", sum.Requests)
+	}
+	if sum.Shed != 100 {
+		t.Fatalf("shed %d, want 100 (every 5th)", sum.Shed)
+	}
+	if sum.OK != 400 || sum.OK+sum.Shed != sum.Requests {
+		t.Fatalf("accounting: %+v", sum)
+	}
+	if sum.Mismatches != 0 || sum.Errors != 0 || sum.Deadline != 0 {
+		t.Fatalf("unexpected failures: %+v", sum)
+	}
+	if verified != sum.OK {
+		t.Fatalf("verify saw %d responses, want %d", verified, sum.OK)
+	}
+	if last != 500 {
+		t.Fatalf("OnResult high-water %d, want 500", last)
+	}
+	if sum.Cached == 0 {
+		t.Fatal("cached responses not counted")
+	}
+	// ByGeneration covers all three fake generations, sorted accessor.
+	gens := sum.Generations()
+	want := []string{"gen-k1", "gen-k2", "gen-k3"}
+	if len(gens) != len(want) {
+		t.Fatalf("generations %v", gens)
+	}
+	for i := range want {
+		if gens[i] != want[i] {
+			t.Fatalf("generations %v, want %v", gens, want)
+		}
+	}
+	total := 0
+	for _, c := range sum.ByGeneration {
+		total += c
+	}
+	if total != sum.OK {
+		t.Fatalf("ByGeneration totals %d, want %d", total, sum.OK)
+	}
+	if !(sum.P50Seconds <= sum.P95Seconds && sum.P95Seconds <= sum.P99Seconds) {
+		t.Fatalf("quantiles not monotone: %+v", sum)
+	}
+	if sum.MaxSeconds <= 0 {
+		t.Fatalf("max latency %v", sum.MaxSeconds)
+	}
+}
+
+func TestRunVerifyMismatch(t *testing.T) {
+	d := &fakeDriver{}
+	cfg := baseConfig()
+	cfg.Requests = 50
+	cfg.Verify = func(query.Request, query.Response) error {
+		return fmt.Errorf("always wrong")
+	}
+	sum, err := loadgen.Run(context.Background(), d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Mismatches != 50 {
+		t.Fatalf("mismatches %d, want 50", sum.Mismatches)
+	}
+	if len(sum.MismatchSamples) == 0 || len(sum.MismatchSamples) > 5 {
+		t.Fatalf("samples %v", sum.MismatchSamples)
+	}
+}
+
+func TestRunConfigErrors(t *testing.T) {
+	if _, err := loadgen.Run(context.Background(), nil, baseConfig()); err == nil {
+		t.Fatal("nil driver accepted")
+	}
+	cfg := baseConfig()
+	cfg.Kernels = nil
+	if _, err := loadgen.Run(context.Background(), &fakeDriver{}, cfg); err == nil {
+		t.Fatal("empty kernel set accepted")
+	}
+}
