@@ -6,20 +6,30 @@
 //
 // Usage:
 //
-//	acsel-lint [-checks list] [-list] [-fix] [-sarif file] [-cache] [packages]
+//	acsel-lint [-checks list] [-list] [-fix] [-sarif file] [-cache] [-budget file] [packages]
 //
 // Package patterns follow the go tool: ./... (default), ./internal/rts,
 // ./internal/... . Findings are suppressed at the site with
-// //lint:ignore <check> <reason>; see internal/lint.
+// //lint:ignore <check> <reason>; see internal/lint. The suite spans
+// two tiers: unit analyzers check one package at a time, while the
+// module analyzers (lockorder, sharedstate, atomicmix, puredet) build
+// a whole-module call graph and function summaries, so they always
+// analyze every package and report the findings that land in the
+// selected ones.
 //
 // -fix applies each finding's suggested fix (when one exists), gofmts
 // and atomically rewrites the touched files, then re-runs the analyzers
 // so the exit status reflects what remains; a second -fix run is a
 // no-op. -sarif writes a SARIF 2.1.0 log for CI annotation ("-" for
-// stdout). -cache keys the whole run by a SHA-256 over the module's Go
-// files and the analyzer suite versions, short-circuiting unchanged
-// re-runs (see internal/lint/cache.go); -cache-dir overrides the
-// per-user default location.
+// stdout), including call-path traces as relatedLocations. -cache keys
+// the whole run by a SHA-256 over the observable Go files and the
+// analyzer suite versions, short-circuiting unchanged re-runs (see
+// internal/lint/cache.go); -cache-dir overrides the per-user default
+// location. -budget names a findings-ratchet file holding the maximum
+// tolerated finding count: at or under budget the exit code is 0, so
+// CI fails only on regressions while the recorded debt is paid down.
+// -summaries dumps the call graph and per-function summaries instead
+// of linting.
 package main
 
 import (
@@ -28,6 +38,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"acsel/internal/lint"
 )
@@ -44,8 +56,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dir := fs.String("C", ".", "module root directory (must contain go.mod)")
 	fix := fs.Bool("fix", false, "apply suggested fixes, then re-run and report what remains")
 	sarifOut := fs.String("sarif", "", "write findings as SARIF 2.1.0 to this file (\"-\" for stdout)")
-	useCache := fs.Bool("cache", false, "reuse cached results when the module content and analyzer suite are unchanged")
+	useCache := fs.Bool("cache", false, "reuse cached results when the observable module content and analyzer suite are unchanged")
 	cacheDir := fs.String("cache-dir", "", "lint result cache directory (default: user cache dir/acsel-lint)")
+	budget := fs.String("budget", "", "findings-ratchet file: exit 0 while findings stay at or under the recorded count")
+	summaries := fs.Bool("summaries", false, "dump the call graph and per-function summaries instead of linting")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -54,13 +68,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, a := range lint.All() {
 			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
+		for _, a := range lint.AllModule() {
+			fmt.Fprintf(stdout, "%-12s %s (module-wide)\n", a.Name, a.Doc)
+		}
 		return 0
-	}
-
-	analyzers, err := lint.ByName(*checks)
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 2
 	}
 
 	root, err := findModuleRoot(*dir)
@@ -69,7 +80,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	diags, err := runLint(root, fs.Args(), analyzers, *useCache, *cacheDir, stderr)
+	if *summaries {
+		if err := lint.DumpSummaries(root, stdout); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		return 0
+	}
+
+	suite, err := lint.SuiteByName(*checks)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	diags, err := runLint(root, fs.Args(), suite, *useCache, *cacheDir, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
@@ -93,7 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if len(res.ChangedFiles) > 0 {
 			// Fixed files changed on disk: the remaining findings (and the
 			// cache key) must come from a fresh run.
-			diags, err = runLint(root, fs.Args(), analyzers, *useCache, *cacheDir, stderr)
+			diags, err = runLint(root, fs.Args(), suite, *useCache, *cacheDir, stderr)
 			if err != nil {
 				fmt.Fprintln(stderr, err)
 				return 2
@@ -109,7 +134,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stderr, err)
 				return 2
 			}
-			werr := lint.WriteSARIF(f, root, diags, analyzers)
+			werr := lint.WriteSARIF(f, root, diags, suite)
 			if cerr := f.Close(); werr == nil {
 				werr = cerr
 			}
@@ -117,7 +142,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stderr, werr)
 				return 2
 			}
-		} else if err := lint.WriteSARIF(w, root, diags, analyzers); err != nil {
+		} else if err := lint.WriteSARIF(w, root, diags, suite); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
@@ -132,6 +157,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, d.String())
 		}
 	}
+	if *budget != "" {
+		max, err := readBudget(*budget)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		if len(diags) > max {
+			fmt.Fprintf(stderr, "acsel-lint: %d finding(s) exceed the budget of %d in %s — fix the regression or justify a //lint:ignore\n",
+				len(diags), max, *budget)
+			return 1
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(stderr, "acsel-lint: %d finding(s) within budget %d\n", len(diags), max)
+		}
+		return 0
+	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "acsel-lint: %d finding(s)\n", len(diags))
 		return 1
@@ -139,10 +180,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// readBudget parses the ratchet file: one non-negative integer, blank
+// lines and #-comments permitted.
+func readBudget(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("acsel-lint: reading budget: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		n, err := strconv.Atoi(line)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("acsel-lint: budget file %s: want a non-negative integer, got %q", path, line)
+		}
+		return n, nil
+	}
+	return 0, fmt.Errorf("acsel-lint: budget file %s is empty", path)
+}
+
 // runLint dispatches to the cached or direct runner.
-func runLint(root string, patterns []string, analyzers []*lint.Analyzer, useCache bool, cacheDir string, stderr io.Writer) ([]lint.Diagnostic, error) {
+func runLint(root string, patterns []string, suite lint.Suite, useCache bool, cacheDir string, stderr io.Writer) ([]lint.Diagnostic, error) {
 	if !useCache {
-		return lint.Run(root, patterns, analyzers)
+		return lint.RunSuite(root, patterns, suite)
 	}
 	if cacheDir == "" {
 		var err error
@@ -151,7 +213,7 @@ func runLint(root string, patterns []string, analyzers []*lint.Analyzer, useCach
 			return nil, err
 		}
 	}
-	diags, hit, err := lint.RunCached(root, patterns, analyzers, cacheDir)
+	diags, hit, err := lint.RunSuiteCached(root, patterns, suite, cacheDir)
 	if err != nil {
 		return nil, err
 	}

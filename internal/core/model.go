@@ -212,6 +212,8 @@ func (m *Model) selectUnderCap(sr SampleRuns, capW, z float64) (Selection, error
 // SelectUnderCap, the batch paths, and the query service's per-kernel
 // prediction cache, so every path yields bitwise-identical Selections
 // by construction.
+//
+//lint:deterministic
 func SelectAmong(preds []Prediction, cluster int, capW, z float64) (Selection, error) {
 	if len(preds) == 0 {
 		return Selection{}, fmt.Errorf("%w: no predictions", ErrNoModel)

@@ -155,43 +155,46 @@ const cacheKeyVersion = 1
 // the profile set (including order) changes it.
 func ModelCacheKey(space *apu.Space, profiles []*KernelProfile, opts TrainOptions) string {
 	h := sha256.New()
-	hashInt := func(v int64) {
-		var buf [8]byte
-		binary.LittleEndian.PutUint64(buf[:], uint64(v))
-		h.Write(buf[:]) //lint:ignore errcheck hash.Hash.Write never fails
-	}
-	hashFloat := func(v float64) { hashInt(int64(math.Float64bits(v))) }
-	hashString := func(s string) {
-		hashInt(int64(len(s)))
-		io.WriteString(h, s) //lint:ignore errcheck hash.Hash.Write never fails
-	}
-	hashInt(cacheKeyVersion)
-	hashInt(int64(modelVersion))
-	hashInt(int64(space.Len()))
-	hashInt(int64(opts.K))
-	hashInt(int64(opts.Iterations))
+	hashInt(h, cacheKeyVersion)
+	hashInt(h, int64(modelVersion))
+	hashInt(h, int64(space.Len()))
+	hashInt(h, int64(opts.K))
+	hashInt(h, int64(opts.Iterations))
 	hashBool(h, opts.LogTargets)
-	hashInt(int64(opts.TreeMaxDepth))
-	hashInt(int64(opts.TreeMinLeaf))
-	hashInt(opts.Seed)
-	hashInt(int64(len(profiles)))
+	hashInt(h, int64(opts.TreeMaxDepth))
+	hashInt(h, int64(opts.TreeMinLeaf))
+	hashInt(h, opts.Seed)
+	hashInt(h, int64(len(profiles)))
 	for _, kp := range profiles {
-		hashString(kp.KernelID)
-		hashString(kp.Benchmark)
-		hashString(kp.Input)
-		hashString(kp.Name)
-		hashFloat(kp.TimeShare)
-		hashInt(int64(len(kp.Stats)))
+		hashString(h, kp.KernelID)
+		hashString(h, kp.Benchmark)
+		hashString(h, kp.Input)
+		hashString(h, kp.Name)
+		hashFloat(h, kp.TimeShare)
+		hashInt(h, int64(len(kp.Stats)))
 		for _, s := range kp.Stats {
-			hashInt(int64(s.ConfigID))
+			hashInt(h, int64(s.ConfigID))
 			for _, v := range []float64{s.MeanTime, s.MeanPerf, s.MeanPower, s.MeanCPUW, s.MeanNBW} {
-				hashFloat(v)
+				hashFloat(h, v)
 			}
 		}
 		hashSample(h, kp.CPUSample)
 		hashSample(h, kp.GPUSample)
 	}
 	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+func hashInt(h hash.Hash, v int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	h.Write(buf[:]) //lint:ignore errcheck hash.Hash.Write never fails
+}
+
+func hashFloat(h hash.Hash, v float64) { hashInt(h, int64(math.Float64bits(v))) }
+
+func hashString(h hash.Hash, s string) {
+	hashInt(h, int64(len(s)))
+	io.WriteString(h, s) //lint:ignore errcheck hash.Hash.Write never fails
 }
 
 func hashBool(h hash.Hash, v bool) {

@@ -170,6 +170,8 @@ func (h *Harness) Run() (*Evaluation, error) {
 // pairwise Kendall taus. Folds then train and evaluate on up to
 // h.Workers goroutines. Both levels of concurrency are deterministic —
 // the Evaluation is identical for any worker count, bit for bit.
+//
+//lint:deterministic
 func (h *Harness) RunOnProfiles(profiles []*core.KernelProfile) (*Evaluation, error) {
 	methods := h.MethodsUnderTest
 	if len(methods) == 0 {
@@ -244,7 +246,8 @@ func (h *Harness) RunOnProfiles(profiles []*core.KernelProfile) (*Evaluation, er
 // copy of h.Opts, so its clustering seed is the same deterministic
 // value the sequential path would use.
 func (h *Harness) runFold(profiles []*core.KernelProfile, bench string, fullDis *cluster.DissimilarityMatrix, methods []sched.Method) (*core.Model, []Case, error) {
-	defer mFoldSeconds.Time()()
+	stopFold := mFoldSeconds.Time()
+	defer stopFold()
 	var train, test []*core.KernelProfile
 	var trainIdx []int
 	for i, kp := range profiles {

@@ -5,9 +5,12 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"go/parser"
+	"go/token"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -15,15 +18,26 @@ import (
 // discipline for trained models: the key is a SHA-256 over everything
 // that can change the answer — a format version, each analyzer's
 // name:version pair, the lint patterns, go.mod, and the path plus
-// content hash of every Go file in the module (testdata/vendor/hidden
-// dirs excluded, exactly the loader's skip rule). Any edit anywhere in
-// the module changes the key, so a hit is always exact; there is no
-// invalidation logic to get wrong. Entries are immutable JSON files
+// content hash of every Go file the run can observe. Any edit to an
+// observable file changes the key, so a hit is always exact; there is
+// no invalidation logic to get wrong. Entries are immutable JSON files
 // named by their key.
+//
+// What "observable" means depends on the suite. Module analyzers
+// consume the whole-module call graph and every function summary, and
+// their findings can shift when any package changes (a new caller in an
+// unrelated package alters lock-order witnesses), so their keys hash
+// every Go file in the module — the summary closure. Unit-only runs
+// hash just the selected directories plus the non-test files of their
+// transitive module imports: an edit to a package the selection never
+// loads keeps the hit. Both closures also fold in the interprocedural
+// format versions, so a change to the call-graph or summary encoding
+// retires stale entries wholesale.
 
 // cacheFormatVersion invalidates every entry when the cache layout or
-// keying scheme itself changes.
-const cacheFormatVersion = 1
+// keying scheme itself changes. v2: suite-aware keys, import-closure
+// hashing for unit-only runs, Related positions in entries.
+const cacheFormatVersion = 2
 
 // cacheEntry is the on-disk representation of one run's findings.
 // Positions are stored module-relative so entries are machine-portable
@@ -43,15 +57,26 @@ func DefaultCacheDir() (string, error) {
 }
 
 // CacheKey computes the content hash governing a (root, patterns,
-// analyzers) run. It is exported so tests and tooling can observe key
-// stability and sensitivity.
+// analyzers) unit-only run. It is exported so tests and tooling can
+// observe key stability and sensitivity.
 func CacheKey(root string, patterns []string, analyzers []*Analyzer) (string, error) {
+	return SuiteCacheKey(root, patterns, Suite{Unit: analyzers})
+}
+
+// SuiteCacheKey computes the content hash governing a (root, patterns,
+// suite) run: format versions, analyzer name:version pairs, patterns,
+// and the hash of every observable file (see the cache overview for
+// the closure rules).
+func SuiteCacheKey(root string, patterns []string, suite Suite) (string, error) {
 	root, err := filepath.Abs(root)
 	if err != nil {
 		return "", err
 	}
 	h := sha256.New()
 	fmt.Fprintf(h, "format:%d\n", cacheFormatVersion)
+	if len(suite.Module) > 0 {
+		fmt.Fprintf(h, "callgraph:%d\nsummary:%d\n", callGraphFormatVersion, summaryFormatVersion)
+	}
 
 	pats := append([]string(nil), patterns...)
 	if len(pats) == 0 {
@@ -60,11 +85,19 @@ func CacheKey(root string, patterns []string, analyzers []*Analyzer) (string, er
 	sort.Strings(pats)
 	fmt.Fprintf(h, "patterns:%s\n", strings.Join(pats, ","))
 
-	for _, a := range analyzers {
+	for _, a := range suite.Unit {
 		fmt.Fprintf(h, "analyzer:%s:%d\n", a.Name, a.Version)
 	}
+	for _, a := range suite.Module {
+		fmt.Fprintf(h, "module-analyzer:%s:%d\n", a.Name, a.Version)
+	}
 
-	files, err := moduleGoFiles(root)
+	var files []string
+	if len(suite.Module) > 0 {
+		files, err = moduleGoFiles(root)
+	} else {
+		files, err = closureGoFiles(root, patterns)
+	}
 	if err != nil {
 		return "", err
 	}
@@ -110,6 +143,70 @@ func moduleGoFiles(root string) ([]string, error) {
 	return files, nil
 }
 
+// closureGoFiles lists what a unit-only run can observe: go.mod, every
+// .go file in the selected directories (tests included), and the
+// non-test files of every module package those reach transitively
+// through imports. Files outside the closure cannot change the run's
+// answer, so they are deliberately left out of the key.
+func closureGoFiles(root string, patterns []string) ([]string, error) {
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	selDirs, err := selectDirs(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	seen := make(map[string]bool, len(selDirs))
+	selected := make(map[string]bool, len(selDirs))
+	queue := append([]string(nil), selDirs...)
+	for _, d := range selDirs {
+		selected[d], seen[d] = true, true
+	}
+	files := []string{"go.mod"}
+	for len(queue) > 0 {
+		dir := queue[0]
+		queue = queue[1:]
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ents {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+				continue
+			}
+			if !selected[dir] && strings.HasSuffix(name, "_test.go") {
+				continue // closure packages are imported without their tests
+			}
+			p := filepath.Join(dir, name)
+			rel, err := filepath.Rel(root, p)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, rel)
+			f, err := parser.ParseFile(fset, p, nil, parser.ImportsOnly)
+			if err != nil {
+				return nil, err
+			}
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil || (path != modPath && !strings.HasPrefix(path, modPath+"/")) {
+					continue
+				}
+				d := filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(path, modPath)))
+				if !seen[d] {
+					seen[d] = true
+					queue = append(queue, d)
+				}
+			}
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
 // RunCached is Run with a read-through cache in cacheDir. On a key hit
 // it returns the stored diagnostics without loading or type-checking
 // anything; on a miss it runs the analyzers and stores the result. The
@@ -117,11 +214,16 @@ func moduleGoFiles(root string) ([]string, error) {
 // failures (unwritable dir, corrupt entry) degrade to a plain run —
 // the cache can slow nothing down and break nothing.
 func RunCached(root string, patterns []string, analyzers []*Analyzer, cacheDir string) ([]Diagnostic, bool, error) {
+	return RunSuiteCached(root, patterns, Suite{Unit: analyzers}, cacheDir)
+}
+
+// RunSuiteCached is RunSuite behind the same read-through cache.
+func RunSuiteCached(root string, patterns []string, suite Suite, cacheDir string) ([]Diagnostic, bool, error) {
 	root, err := filepath.Abs(root)
 	if err != nil {
 		return nil, false, err
 	}
-	key, err := CacheKey(root, patterns, analyzers)
+	key, err := SuiteCacheKey(root, patterns, suite)
 	if err != nil {
 		return nil, false, err
 	}
@@ -134,7 +236,7 @@ func RunCached(root string, patterns []string, analyzers []*Analyzer, cacheDir s
 		}
 	}
 
-	diags, err := Run(root, patterns, analyzers)
+	diags, err := RunSuite(root, patterns, suite)
 	if err != nil {
 		return nil, false, err
 	}
@@ -166,6 +268,7 @@ func relativize(root string, diags []Diagnostic) []Diagnostic {
 	for i, d := range diags {
 		d.Pos.Filename = relPath(root, d.Pos.Filename)
 		d.Fixes = mapFixPaths(d.Fixes, func(p string) string { return relPath(root, p) })
+		d.Related = mapRelatedPaths(d.Related, func(p string) string { return relPath(root, p) })
 		out[i] = d
 	}
 	return out
@@ -178,7 +281,20 @@ func absolutize(root string, diags []Diagnostic) []Diagnostic {
 	for i, d := range diags {
 		d.Pos.Filename = absPath(root, d.Pos.Filename)
 		d.Fixes = mapFixPaths(d.Fixes, func(p string) string { return absPath(root, p) })
+		d.Related = mapRelatedPaths(d.Related, func(p string) string { return absPath(root, p) })
 		out[i] = d
+	}
+	return out
+}
+
+func mapRelatedPaths(rel []RelatedPos, f func(string) string) []RelatedPos {
+	if len(rel) == 0 {
+		return nil
+	}
+	out := make([]RelatedPos, len(rel))
+	for i, r := range rel {
+		r.Pos.Filename = f(r.Pos.Filename)
+		out[i] = r
 	}
 	return out
 }

@@ -22,14 +22,29 @@ type ignoreSet struct {
 
 // suppresses reports whether a directive covers diagnostic d. A
 // directive on line L covers findings on L (trailing comment) and L+1
-// (comment above the statement).
+// (comment above the statement). Interprocedural findings carry a call
+// path in Related, and a directive on any step of that path suppresses
+// the finding too: the natural place to justify a lock-order exception
+// is the call site that creates it, which may not be the anchor line.
 func (s ignoreSet) suppresses(d Diagnostic) bool {
-	lines := s.byLine[d.Pos.Filename]
+	if s.at(d.Pos, d.Check) {
+		return true
+	}
+	for _, r := range d.Related {
+		if s.at(r.Pos, d.Check) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s ignoreSet) at(pos token.Position, check string) bool {
+	lines := s.byLine[pos.Filename]
 	if lines == nil {
 		return false
 	}
-	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
-		if checks := lines[line]; checks != nil && checks[d.Check] {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if checks := lines[line]; checks != nil && checks[check] {
 			return true
 		}
 	}

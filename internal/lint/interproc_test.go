@@ -1,0 +1,461 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// runModuleChecks lints a fixture with the named module analyzers only.
+func runModuleChecks(t *testing.T, root string, names ...string) []Diagnostic {
+	t.Helper()
+	suite, err := SuiteByName(strings.Join(names, ","))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunSuite(root, nil, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+const lockOrderBadSrc = `package app
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+func Forward(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.n++
+	grabB(b)
+}
+
+func grabB(b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+func Backward(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	a.n = 0
+	a.mu.Unlock()
+}
+`
+
+// TestLockOrderDetectsInversion: A-then-B two calls deep in one path,
+// B-then-A locally in another — the classic deadlock pair, with the
+// second leg of the forward witness only visible interprocedurally.
+func TestLockOrderDetectsInversion(t *testing.T) {
+	root := fixtureModule(t, map[string]string{"app/app.go": lockOrderBadSrc})
+	diags := runModuleChecks(t, root, "lockorder")
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %v, want exactly one lockorder finding", diags)
+	}
+	d := diags[0]
+	if d.Check != "lockorder" || !strings.Contains(d.Message, "deadlock") {
+		t.Fatalf("unexpected diagnostic: %+v", d)
+	}
+	if len(d.Related) == 0 {
+		t.Fatal("lockorder finding carries no call-path trace")
+	}
+}
+
+const lockOrderCleanSrc = `package app
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+func One(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	grabB(b)
+}
+
+func Two(a *A, b *B) {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+func grabB(b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+func SameClassTwice(x, y *A) {
+	x.mu.Lock()
+	x.n++
+	x.mu.Unlock()
+	y.mu.Lock()
+	y.n++
+	y.mu.Unlock()
+}
+`
+
+// TestLockOrderCleanPrecision: a consistent A-before-B order, strictly
+// sequential acquisition, and two same-class instances locked in turn
+// must all stay silent — the last one is exactly what the a==b
+// self-pair skip exists for.
+func TestLockOrderCleanPrecision(t *testing.T) {
+	root := fixtureModule(t, map[string]string{"app/app.go": lockOrderCleanSrc})
+	if diags := runModuleChecks(t, root, "lockorder"); len(diags) != 0 {
+		t.Fatalf("clean fixture produced findings: %v", diags)
+	}
+}
+
+const sharedStateBadSrc = `package app
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *Counter) Peek() int {
+	return c.n
+}
+`
+
+func TestSharedStateDetectsBareRead(t *testing.T) {
+	root := fixtureModule(t, map[string]string{"app/app.go": sharedStateBadSrc})
+	diags := runModuleChecks(t, root, "sharedstate")
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %v, want exactly one sharedstate finding", diags)
+	}
+	d := diags[0]
+	if !strings.Contains(d.Message, "app.Counter.n") || !strings.Contains(d.Message, "read here without it") {
+		t.Fatalf("unexpected diagnostic: %+v", d)
+	}
+}
+
+const sharedStateCleanSrc = `package app
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func New(start int) *Counter {
+	c := &Counter{}
+	c.n = start // constructor-fresh: not yet shared
+	return c
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.incLocked()
+}
+
+// incLocked inherits the caller's lock context through the entry-held
+// fixpoint: every caller holds c.mu, so the bare-looking write is
+// provably guarded.
+func (c *Counter) incLocked() {
+	c.n++
+}
+
+func (c *Counter) Peek() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+`
+
+// TestSharedStateCleanPrecision: constructor-fresh initialization and
+// the fooLocked helper idiom (guarded only via callers) must not fire.
+func TestSharedStateCleanPrecision(t *testing.T) {
+	root := fixtureModule(t, map[string]string{"app/app.go": sharedStateCleanSrc})
+	if diags := runModuleChecks(t, root, "sharedstate"); len(diags) != 0 {
+		t.Fatalf("clean fixture produced findings: %v", diags)
+	}
+}
+
+const atomicMixBadSrc = `package app
+
+import "sync/atomic"
+
+type Stats struct {
+	hits int64
+}
+
+func (s *Stats) Hit() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *Stats) Snapshot() int64 {
+	return s.hits
+}
+`
+
+func TestAtomicMixDetectsPlainRead(t *testing.T) {
+	root := fixtureModule(t, map[string]string{"app/app.go": atomicMixBadSrc})
+	diags := runModuleChecks(t, root, "atomicmix")
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %v, want exactly one atomicmix finding", diags)
+	}
+	if !strings.Contains(diags[0].Message, "app.Stats.hits") {
+		t.Fatalf("unexpected diagnostic: %+v", diags[0])
+	}
+}
+
+const atomicMixCleanSrc = `package app
+
+import "sync/atomic"
+
+type Stats struct {
+	hits  int64
+	plain int
+}
+
+func New(seed int64) *Stats {
+	s := &Stats{}
+	s.hits = seed // constructor-fresh plain init of an atomic field
+	return s
+}
+
+func (s *Stats) Hit() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *Stats) Snapshot() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+func (s *Stats) Bump() {
+	s.plain++ // never touched atomically: no mix
+}
+`
+
+// TestAtomicMixCleanPrecision: all-atomic access, constructor-fresh
+// plain initialization, and a purely plain field must all stay silent.
+func TestAtomicMixCleanPrecision(t *testing.T) {
+	root := fixtureModule(t, map[string]string{"app/app.go": atomicMixCleanSrc})
+	if diags := runModuleChecks(t, root, "atomicmix"); len(diags) != 0 {
+		t.Fatalf("clean fixture produced findings: %v", diags)
+	}
+}
+
+const pureDetBadSrc = `package app
+
+import "time"
+
+//lint:deterministic
+func Select(xs []int) int {
+	best := 0
+	for _, x := range xs {
+		best = combine(best, x)
+	}
+	return best
+}
+
+func combine(a, b int) int {
+	go audit()
+	if b > a {
+		return b
+	}
+	return a
+}
+
+func audit() {
+	_ = time.Now()
+}
+`
+
+// TestPureDetEscalatesThroughGoroutine: the wall-clock read is two
+// calls away and behind a goroutine spawn — the unit walltime analyzer
+// cannot connect it to the annotated root, puredet must.
+func TestPureDetEscalatesThroughGoroutine(t *testing.T) {
+	root := fixtureModule(t, map[string]string{"app/app.go": pureDetBadSrc})
+	diags := runModuleChecks(t, root, "puredet")
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %v, want exactly one puredet finding", diags)
+	}
+	d := diags[0]
+	if !strings.Contains(d.Message, "walltime") || !strings.Contains(d.Message, "sandbox/app.Select") {
+		t.Fatalf("unexpected diagnostic: %+v", d)
+	}
+	if len(d.Related) < 2 {
+		t.Fatalf("want a multi-hop call-path trace, got %v", d.Related)
+	}
+}
+
+const pureDetUnknownSrc = `package app
+
+type Hooks struct {
+	OnSelect func(int)
+}
+
+//lint:deterministic
+func Select(h *Hooks, xs []int) int {
+	best := 0
+	for _, x := range xs {
+		if x > best {
+			best = x
+		}
+	}
+	h.OnSelect(best)
+	return best
+}
+`
+
+// TestPureDetReportsUnprovable: a call through a func-typed field has
+// no resolvable target; claiming determinism anyway must fail as
+// unprovable, not pass silently.
+func TestPureDetReportsUnprovable(t *testing.T) {
+	root := fixtureModule(t, map[string]string{"app/app.go": pureDetUnknownSrc})
+	diags := runModuleChecks(t, root, "puredet")
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %v, want exactly one unprovable finding", diags)
+	}
+	if !strings.Contains(diags[0].Message, "cannot prove") {
+		t.Fatalf("unexpected diagnostic: %+v", diags[0])
+	}
+}
+
+const pureDetCleanSrc = `package app
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+//lint:deterministic
+func Select(seed int64, xs []int) int {
+	// Seeded local source: allowed — determinism comes from the seed.
+	rng := rand.New(rand.NewSource(seed))
+	ys := append([]int(nil), xs...)
+	sort.Ints(ys)
+	if len(ys) == 0 {
+		return rng.Intn(10)
+	}
+	return ys[len(ys)-1]
+}
+
+func Unannotated() int64 {
+	// Nondeterministic, but no //lint:deterministic root reaches it.
+	return time.Now().UnixNano()
+}
+`
+
+// TestPureDetCleanPrecision: a seeded local rand.Rand and sorting are
+// deterministic, and nondeterminism outside any annotated root's
+// reachable set is not puredet's business.
+func TestPureDetCleanPrecision(t *testing.T) {
+	root := fixtureModule(t, map[string]string{"app/app.go": pureDetCleanSrc})
+	if diags := runModuleChecks(t, root, "puredet"); len(diags) != 0 {
+		t.Fatalf("clean fixture produced findings: %v", diags)
+	}
+}
+
+const traceIgnoreSrc = `package app
+
+import "time"
+
+//lint:deterministic
+func Select(xs []int) int {
+	best := 0
+	for _, x := range xs {
+		best = combine(best, x)
+	}
+	return best
+}
+
+func combine(a, b int) int {
+	audit()
+	if b > a {
+		return b
+	}
+	return a
+}
+
+func audit() {
+	//lint:ignore puredet audit timing is observability, not output
+	_ = time.Now()
+}
+`
+
+// TestIgnoreSuppressesOnTraceStep: the directive sits on the
+// nondeterminism source deep in the call path — not on the diagnostic
+// anchor — and must still suppress the interprocedural finding.
+func TestIgnoreSuppressesOnTraceStep(t *testing.T) {
+	root := fixtureModule(t, map[string]string{"app/app.go": traceIgnoreSrc})
+	if diags := runModuleChecks(t, root, "puredet"); len(diags) != 0 {
+		t.Fatalf("directive on the trace step did not suppress: %v", diags)
+	}
+}
+
+// TestModuleFindingsSkipTestFiles: module analyzers see production
+// code only — a lock inversion staged entirely in a _test.go file is a
+// test's business (chaos suites do this deliberately), not a finding.
+func TestModuleFindingsSkipTestFiles(t *testing.T) {
+	root := fixtureModule(t, map[string]string{
+		"app/app.go":      "package app\n\nfunc Ok() {}\n",
+		"app/app_test.go": "package app\n\nimport \"time\"\n\n//lint:deterministic\nfunc helper() int64 { return time.Now().UnixNano() }\n",
+	})
+	if diags := runModuleChecks(t, root, "lockorder", "sharedstate", "atomicmix", "puredet"); len(diags) != 0 {
+		t.Fatalf("test-file code produced module findings: %v", diags)
+	}
+}
+
+// TestRunSuitePatternFilter: module analysis always spans the whole
+// module, but findings are filtered to the selected packages.
+func TestRunSuitePatternFilter(t *testing.T) {
+	root := fixtureModule(t, map[string]string{
+		"app/app.go": pureDetBadSrc,
+		"lib/lib.go": "package lib\n\nfunc Pure(x int) int { return x + 1 }\n",
+	})
+	suite, err := SuiteByName("puredet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunSuite(root, []string{"./lib"}, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("selecting ./lib must filter out app findings, got %v", diags)
+	}
+	diags, err = RunSuite(root, []string{"./app"}, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("selecting ./app must keep its finding, got %v", diags)
+	}
+}

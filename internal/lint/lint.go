@@ -37,6 +37,18 @@ type Diagnostic struct {
 	// applies the first one (see fix.go). Analyzers only attach a fix
 	// when it is safe and semantics-preserving.
 	Fixes []SuggestedFix `json:",omitempty"`
+	// Related carries the call-path trace of an interprocedural finding
+	// (module analyzers, modulepass.go): each step explains one hop from
+	// the reported position to the root cause. Rendered as SARIF
+	// relatedLocations, and a //lint:ignore directive on ANY step's line
+	// suppresses the finding (ignore.go).
+	Related []RelatedPos `json:",omitempty"`
+}
+
+// RelatedPos is one step of a diagnostic's interprocedural explanation.
+type RelatedPos struct {
+	Pos     token.Position
+	Message string
 }
 
 // TextEdit replaces the source range [Start.Offset, End.Offset) of

@@ -7,6 +7,7 @@ import (
 	"go/parser"
 	"go/token"
 	"go/types"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -53,6 +54,117 @@ func Run(root string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, e
 	}
 	sortDiagnostics(all)
 	return all, nil
+}
+
+// RunSuite is Run extended to module-level analyzers. Unit analyzers
+// see exactly the packages the patterns select; module analyzers
+// always analyze the whole module — a call graph over a subset would
+// silently miss edges — but only findings positioned inside the
+// selected directories are reported, so `acsel-lint ./internal/query`
+// behaves like a filter, not a different analysis.
+func RunSuite(root string, patterns []string, suite Suite) ([]Diagnostic, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	selDirs, err := selectDirs(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	selected := make(map[string]bool, len(selDirs))
+	for _, d := range selDirs {
+		selected[d] = true
+	}
+	loadDirs := selDirs
+	if len(suite.Module) > 0 {
+		if loadDirs, err = selectDirs(root, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:    fset,
+		modRoot: root,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*types.Package),
+	}
+
+	var all []Diagnostic
+	var modUnits []*ModuleUnit
+	for _, dir := range loadDirs {
+		units, err := ld.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, u := range units {
+			if selected[dir] && len(suite.Unit) > 0 {
+				all = append(all, runUnit(fset, u.files, u.pkg, u.info, suite.Unit)...)
+			}
+			modUnits = append(modUnits, &ModuleUnit{Files: u.files, Pkg: u.pkg, Info: u.info})
+		}
+	}
+	if len(suite.Module) > 0 {
+		for _, d := range runModule(fset, modUnits, suite.Module) {
+			if selected[filepath.Dir(d.Pos.Filename)] {
+				all = append(all, d)
+			}
+		}
+	}
+	sortDiagnostics(all)
+	return all, nil
+}
+
+// DumpSummaries loads the whole module and writes the interprocedural
+// debugging view to w: the call-graph edge list followed by every
+// function summary in its canonical line encoding (see EncodeSummary).
+// This is what `acsel-lint -summaries` prints.
+func DumpSummaries(root string, w io.Writer) error {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return err
+	}
+	modPath, err := modulePath(root)
+	if err != nil {
+		return err
+	}
+	dirs, err := selectDirs(root, nil)
+	if err != nil {
+		return err
+	}
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:    fset,
+		modRoot: root,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*types.Package),
+	}
+	var modUnits []*ModuleUnit
+	for _, dir := range dirs {
+		units, err := ld.loadDir(dir)
+		if err != nil {
+			return err
+		}
+		for _, u := range units {
+			modUnits = append(modUnits, &ModuleUnit{Files: u.files, Pkg: u.pkg, Info: u.info})
+		}
+	}
+	prog := buildProgram(fset, modUnits)
+	if _, err := io.WriteString(w, prog.graph.DumpEdges()); err != nil {
+		return err
+	}
+	for _, n := range prog.graph.NodesInOrder() {
+		if _, err := io.WriteString(w, EncodeSummary(prog.summaries.Get(n.ID))); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // modulePath reads the module declaration from root/go.mod.

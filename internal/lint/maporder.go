@@ -24,8 +24,12 @@ var AnalyzerMapOrder = &Analyzer{
 	Run:     runMapOrder,
 }
 
-func runMapOrder(pass *Pass) {
-	spec := &taintSpec{
+// mapOrderTaintSpec is the shared flow specification: the unit analyzer
+// runs it per package, and the summary layer (summary.go) runs it per
+// call-graph node to record map-order escapes as nondeterminism facts
+// for the interprocedural puredet analyzer.
+func mapOrderTaintSpec() *taintSpec {
+	return &taintSpec{
 		sourceDef: func(pass *Pass, d *DefSite) bool {
 			return d.Kind == DefRange && d.RHS != nil && isMapType(pass.TypeOf(d.RHS))
 		},
@@ -40,7 +44,10 @@ func runMapOrder(pass *Pass) {
 			})
 		},
 	}
-	for _, f := range runTaint(pass, spec) {
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range runTaint(pass, mapOrderTaintSpec()) {
 		origin := pass.Fset.Position(f.origin)
 		pass.Reportf(f.pos, "value ordered by map iteration (range on line %d) reaches %s without an intervening sort", origin.Line, f.what)
 	}

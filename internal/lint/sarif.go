@@ -49,14 +49,16 @@ type sarifMessage struct {
 }
 
 type sarifResult struct {
-	RuleID    string          `json:"ruleId"`
-	Level     string          `json:"level"`
-	Message   sarifMessage    `json:"message"`
-	Locations []sarifLocation `json:"locations"`
+	RuleID           string          `json:"ruleId"`
+	Level            string          `json:"level"`
+	Message          sarifMessage    `json:"message"`
+	Locations        []sarifLocation `json:"locations"`
+	RelatedLocations []sarifLocation `json:"relatedLocations,omitempty"`
 }
 
 type sarifLocation struct {
 	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+	Message          *sarifMessage `json:"message,omitempty"`
 }
 
 type sarifPhysical struct {
@@ -75,13 +77,22 @@ type sarifRegion struct {
 
 // WriteSARIF renders diags as a SARIF 2.1.0 log. File paths are made
 // root-relative (forward-slashed) so the artifact is machine-portable
-// and CI annotation maps results onto checkout paths.
-func WriteSARIF(w io.Writer, root string, diags []Diagnostic, analyzers []*Analyzer) error {
+// and CI annotation maps results onto checkout paths. Interprocedural
+// findings carry their call-path trace as relatedLocations, each step
+// with its own message, so code-hosting UIs render the full path from
+// root to witness.
+func WriteSARIF(w io.Writer, root string, diags []Diagnostic, suite Suite) error {
 	driver := sarifDriver{
 		Name:           "acsel-lint",
 		InformationURI: "https://github.com/acsel/acsel/tree/main/internal/lint",
 	}
-	for _, a := range analyzers {
+	for _, a := range suite.Unit {
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	for _, a := range suite.Module {
 		driver.Rules = append(driver.Rules, sarifRule{
 			ID:               a.Name,
 			ShortDescription: sarifMessage{Text: a.Doc},
@@ -93,25 +104,38 @@ func WriteSARIF(w io.Writer, root string, diags []Diagnostic, analyzers []*Analy
 		ShortDescription: sarifMessage{Text: "malformed //lint:ignore directive"},
 	})
 
-	results := make([]sarifResult, 0, len(diags))
-	for _, d := range diags {
-		uri := d.Pos.Filename
+	relURI := func(p string) string {
 		if root != "" {
-			if rel, err := filepath.Rel(root, uri); err == nil && !filepath.IsAbs(rel) {
-				uri = rel
+			if rel, err := filepath.Rel(root, p); err == nil && !filepath.IsAbs(rel) {
+				p = rel
 			}
 		}
-		results = append(results, sarifResult{
+		return filepath.ToSlash(p)
+	}
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		res := sarifResult{
 			RuleID:  d.Check,
 			Level:   "error",
 			Message: sarifMessage{Text: d.Message},
 			Locations: []sarifLocation{{
 				PhysicalLocation: sarifPhysical{
-					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(uri)},
+					ArtifactLocation: sarifArtifact{URI: relURI(d.Pos.Filename)},
 					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
 				},
 			}},
-		})
+		}
+		for _, r := range d.Related {
+			res.RelatedLocations = append(res.RelatedLocations, sarifLocation{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: relURI(r.Pos.Filename)},
+					Region:           sarifRegion{StartLine: r.Pos.Line, StartColumn: r.Pos.Column},
+				},
+				Message: &sarifMessage{Text: r.Message},
+			})
+		}
+		results = append(results, res)
 	}
 
 	enc := json.NewEncoder(w)

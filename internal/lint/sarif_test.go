@@ -21,7 +21,7 @@ func TestWriteSARIF(t *testing.T) {
 		},
 	}
 	var b strings.Builder
-	if err := WriteSARIF(&b, "/mod", diags, All()); err != nil {
+	if err := WriteSARIF(&b, "/mod", diags, Suite{Unit: All()}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -89,7 +89,7 @@ func TestWriteSARIF(t *testing.T) {
 
 	// Determinism: a second emission is byte-identical.
 	var b2 strings.Builder
-	if err := WriteSARIF(&b2, "/mod", diags, All()); err != nil {
+	if err := WriteSARIF(&b2, "/mod", diags, Suite{Unit: All()}); err != nil {
 		t.Fatal(err)
 	}
 	if b.String() != b2.String() {

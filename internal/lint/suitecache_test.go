@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// Fixture: app's annotated root calls into lib; lib is callee-only.
+const suiteCallerSrc = `package app
+
+import "sandbox/lib"
+
+//lint:deterministic
+func Select(xs []int) int {
+	best := 0
+	for _, x := range xs {
+		best = lib.Combine(best, x)
+	}
+	return best
+}
+`
+
+const suiteCalleeCleanSrc = `package lib
+
+func Combine(a, b int) int {
+	if b > a {
+		return b
+	}
+	return a
+}
+`
+
+const suiteCalleeDirtySrc = `package lib
+
+import "time"
+
+func Combine(a, b int) int {
+	if time.Now().UnixNano()%2 == 0 {
+		return b
+	}
+	if b > a {
+		return b
+	}
+	return a
+}
+`
+
+// TestSuiteCacheCalleeEditInvalidates is the summary-closure
+// regression test: module-analyzer keys hash the whole module, so an
+// edit confined to the CALLEE package must invalidate the CALLER's
+// cached diagnostics — stale entries keyed on the old summaries never
+// survive.
+func TestSuiteCacheCalleeEditInvalidates(t *testing.T) {
+	root := fixtureModule(t, map[string]string{
+		"app/app.go": suiteCallerSrc,
+		"lib/lib.go": suiteCalleeCleanSrc,
+	})
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	suite, err := SuiteByName("puredet")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	diags, hit, err := RunSuiteCached(root, nil, suite, cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || len(diags) != 0 {
+		t.Fatalf("first run: hit=%v diags=%v, want a clean miss", hit, diags)
+	}
+	if _, hit, err = RunSuiteCached(root, nil, suite, cacheDir); err != nil || !hit {
+		t.Fatalf("unchanged rerun: hit=%v err=%v, want a hit", hit, err)
+	}
+
+	// Callee-only edit: app/ is untouched, but its cached verdict is now
+	// wrong — the run must miss and surface the new walltime source.
+	writeFile(t, root, "lib/lib.go", suiteCalleeDirtySrc)
+	diags, hit, err = RunSuiteCached(root, nil, suite, cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("callee edit did not invalidate the cached module result")
+	}
+	if len(diags) != 1 || diags[0].Check != "puredet" {
+		t.Fatalf("diags = %v, want the walltime source reachable from app.Select", diags)
+	}
+}
+
+// TestUnitCacheUnrelatedEditKeepsHit is the precision half of the
+// closure design: unit-only keys hash the selected packages plus their
+// import closure, so an edit to a package the selection never loads
+// keeps the hit, while an edit to an imported dependency misses.
+func TestUnitCacheUnrelatedEditKeepsHit(t *testing.T) {
+	root := fixtureModule(t, map[string]string{
+		"app/app.go":     suiteCallerSrc,
+		"lib/lib.go":     suiteCalleeCleanSrc,
+		"other/other.go": "package other\n\nfunc Alone() {}\n",
+	})
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	suite := Suite{Unit: All()}
+	patterns := []string{"./app"}
+
+	if _, hit, err := RunSuiteCached(root, patterns, suite, cacheDir); err != nil || hit {
+		t.Fatalf("first run: hit=%v err=%v, want a miss", hit, err)
+	}
+	if _, hit, err := RunSuiteCached(root, patterns, suite, cacheDir); err != nil || !hit {
+		t.Fatalf("unchanged rerun: hit=%v err=%v, want a hit", hit, err)
+	}
+
+	// ./other is neither selected nor imported: editing it must not
+	// disturb the key.
+	writeFile(t, root, "other/other.go", "package other\n\nfunc Alone() {}\n\nfunc Extra() {}\n")
+	if _, hit, err := RunSuiteCached(root, patterns, suite, cacheDir); err != nil || !hit {
+		t.Fatalf("unrelated edit: hit=%v err=%v, want the hit to survive", hit, err)
+	}
+
+	// ./lib is in ./app's import closure: editing it must miss.
+	writeFile(t, root, "lib/lib.go", suiteCalleeCleanSrc+"\nfunc Extra() {}\n")
+	if _, hit, err := RunSuiteCached(root, patterns, suite, cacheDir); err != nil || hit {
+		t.Fatalf("dependency edit: hit=%v err=%v, want a miss", hit, err)
+	}
+}
+
+// TestCachedSARIFIdentity: a cache round trip relativizes and restores
+// every position — anchor, suggested fixes, and call-path traces — so
+// SARIF rendered from a cache hit is byte-identical to an uncached run.
+func TestCachedSARIFIdentity(t *testing.T) {
+	root := fixtureModule(t, map[string]string{
+		"app/app.go": suiteCallerSrc,
+		"lib/lib.go": suiteCalleeDirtySrc,
+	})
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	suite := FullSuite()
+
+	direct, err := RunSuite(root, nil, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) == 0 {
+		t.Fatal("fixture produced no findings; the identity check needs traces to compare")
+	}
+	var wantBuf bytes.Buffer
+	if err := WriteSARIF(&wantBuf, root, direct, suite); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, hit, err := RunSuiteCached(root, nil, suite, cacheDir); err != nil || hit {
+		t.Fatalf("priming run: hit=%v err=%v", hit, err)
+	}
+	cached, hit, err := RunSuiteCached(root, nil, suite, cacheDir)
+	if err != nil || !hit {
+		t.Fatalf("cached run: hit=%v err=%v", hit, err)
+	}
+	var gotBuf bytes.Buffer
+	if err := WriteSARIF(&gotBuf, root, cached, suite); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantBuf.Bytes(), gotBuf.Bytes()) {
+		t.Fatalf("SARIF drifted across the cache:\nuncached:\n%s\ncached:\n%s", wantBuf.Bytes(), gotBuf.Bytes())
+	}
+}

@@ -1,0 +1,34 @@
+package lint
+
+import "testing"
+
+// FuzzSummaryRoundTrip holds the textual summary format canonical:
+// for any input DecodeSummary accepts, encode ∘ decode is idempotent —
+// one decode canonicalizes (sorting, whitespace normalization) and a
+// second pass changes nothing. This is the property the result cache
+// and the -summaries dump rely on: a summary has exactly one canonical
+// byte representation.
+func FuzzSummaryRoundTrip(f *testing.F) {
+	f.Add("summary p.F\n")
+	f.Add("summary p.F\nacquire p.T.mu 10 w held=-\nrelease p.T.mu 20 w\n")
+	f.Add("summary p.(T).m\nfield p.T.n 30 w must=p.T.mu may=p.T.mu,p.U.mu\n")
+	f.Add("summary p.F$1\nnondet walltime 5 time.Now\nnondet globalrand 6 rand.Intn\n")
+	f.Add("summary p.F\nunknown 7 call through func value cb\nspawn 9\n")
+	f.Add("summary p.F\ntrans p.T.mu 11\nentry p.T.mu\n")
+	f.Add("summary p.F\nacquire p.B 2 r held=p.A\nacquire p.A 1 w held=-\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := DecodeSummary(text)
+		if err != nil {
+			return // rejected input is out of scope; acceptance is what must be stable
+		}
+		enc := EncodeSummary(s)
+		s2, err := DecodeSummary(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to re-decode: %v\n%s", err, enc)
+		}
+		if enc2 := EncodeSummary(s2); enc2 != enc {
+			t.Fatalf("encoding is not canonical:\nfirst:  %q\nsecond: %q", enc, enc2)
+		}
+	})
+}

@@ -196,6 +196,12 @@ type shard struct {
 // computing and caching it on first use. Concurrent callers for the
 // same generation compute once; callers pinned to different
 // generations each get a vector consistent with their own generation.
+// This is the production half of the test oracle: the soak tests
+// assert every served Response equals core.SelectAmong over exactly
+// this vector, which is only sound if the whole compute path is
+// deterministic — hence the directive.
+//
+//lint:deterministic
 func (sh *shard) predictions(g *generation) (*shardPreds, error) {
 	if p := sh.preds.Load(); p != nil && p.genHash == g.hash {
 		return p, nil
